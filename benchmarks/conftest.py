@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Each exhibit of the paper has a corresponding benchmark that regenerates
+it at ``tiny`` scale (seconds, not the minutes/hours of the full runs —
+use ``python -m repro.experiments.run_all --scale small`` for report-
+quality numbers).  Dataset construction is cached per session so the
+benches measure algorithms, not generators.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import dblp_like, gavin_like, krogan_like
+from repro.sampling import MonteCarloOracle
+
+
+@pytest.fixture(scope="session")
+def gavin_tiny():
+    return gavin_like(seed=0, scale=0.12).graph
+
+
+@pytest.fixture(scope="session")
+def krogan_tiny():
+    return krogan_like(seed=0, scale=0.12)
+
+
+@pytest.fixture(scope="session")
+def dblp_tiny():
+    return dblp_like(1200, seed=0)
+
+
+@pytest.fixture(scope="session")
+def gavin_oracle(gavin_tiny):
+    oracle = MonteCarloOracle(gavin_tiny, seed=1, chunk_size=128)
+    oracle.ensure_samples(256)
+    return oracle

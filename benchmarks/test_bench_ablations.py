@@ -1,0 +1,100 @@
+"""Ablation benchmarks for the design choices documented in DESIGN.md.
+
+Measures the cost side of each knob; the quality side is covered by the
+unit tests (and the paper's own parameter study, Section 5):
+
+* guessing schedule: doubling (paper Section 5) vs geometric (Algorithm 2);
+* min-partial's ``alpha``: 1 (practical) vs n (theoretical greedy);
+* oracle chunk size (labelling amortization);
+* Monte Carlo eps (fewer samples vs threshold slack).
+"""
+
+from repro.core import acp_clustering, mcp_clustering, min_partial
+from repro.sampling import MonteCarloOracle, PracticalSchedule
+
+SCHEDULE = PracticalSchedule(max_samples=200)
+
+
+def test_mcp_doubling_schedule(benchmark, gavin_tiny):
+    def run():
+        return mcp_clustering(
+            gavin_tiny, 12, seed=0, sample_schedule=SCHEDULE,
+            guess_schedule="doubling", chunk_size=128,
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_mcp_geometric_schedule(benchmark, gavin_tiny):
+    def run():
+        return mcp_clustering(
+            gavin_tiny, 12, seed=0, sample_schedule=SCHEDULE,
+            guess_schedule="geometric", chunk_size=128,
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_min_partial_alpha_1(benchmark, gavin_oracle):
+    benchmark(min_partial, gavin_oracle, 12, 0.3, alpha=1, rng=0)
+
+
+def test_min_partial_alpha_n(benchmark, gavin_oracle):
+    n = gavin_oracle.n_nodes
+    benchmark(min_partial, gavin_oracle, 12, 0.3, alpha=n, q_bar=0.3, rng=0)
+
+
+def test_acp_practical_mode(benchmark, gavin_tiny):
+    def run():
+        return acp_clustering(
+            gavin_tiny, 12, seed=0, mode="practical",
+            sample_schedule=SCHEDULE, chunk_size=128,
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_acp_theoretical_mode(benchmark, gavin_tiny):
+    def run():
+        return acp_clustering(
+            gavin_tiny, 12, seed=0, mode="theoretical",
+            sample_schedule=SCHEDULE, chunk_size=128,
+        )
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_oracle_chunk_64(benchmark, gavin_tiny):
+    def build():
+        oracle = MonteCarloOracle(gavin_tiny, seed=0, chunk_size=64)
+        oracle.ensure_samples(256)
+        return oracle
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+def test_oracle_chunk_512(benchmark, gavin_tiny):
+    def build():
+        oracle = MonteCarloOracle(gavin_tiny, seed=0, chunk_size=512)
+        oracle.ensure_samples(256)
+        return oracle
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+def test_mcp_eps_small(benchmark, gavin_tiny):
+    def run():
+        return mcp_clustering(
+            gavin_tiny, 12, seed=0, eps=0.1, sample_schedule=SCHEDULE, chunk_size=128
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_mcp_eps_large(benchmark, gavin_tiny):
+    def run():
+        return mcp_clustering(
+            gavin_tiny, 12, seed=0, eps=0.5, sample_schedule=SCHEDULE, chunk_size=128
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,66 @@
+"""Benchmarks for Figure 1: the four algorithms' clustering runs.
+
+One benchmark per algorithm on the same (graph, k) cell — the
+per-algorithm cost structure is the content of Figure 3, and the
+resulting clusterings' pmin/pavg are asserted to keep the Figure 1
+ordering (mcp wins pmin) from regressing.
+"""
+
+import pytest
+
+from repro.baselines import gmm_clustering, mcl_clustering
+from repro.core import acp_clustering, mcp_clustering
+from repro.metrics import min_connection_probability
+from repro.sampling import PracticalSchedule
+
+K = 12
+_pmin_results = {}
+
+
+def test_gmm(benchmark, gavin_tiny, gavin_oracle):
+    clustering = benchmark.pedantic(
+        gmm_clustering, args=(gavin_tiny, K), kwargs={"seed": 0}, rounds=3, iterations=1
+    )
+    _pmin_results["gmm"] = min_connection_probability(clustering, gavin_oracle)
+
+
+def test_mcl(benchmark, gavin_tiny, gavin_oracle):
+    result = benchmark.pedantic(
+        mcl_clustering, args=(gavin_tiny,), kwargs={"inflation": 1.6}, rounds=3, iterations=1
+    )
+    _pmin_results["mcl"] = min_connection_probability(result.clustering, gavin_oracle)
+
+
+def test_mcp(benchmark, gavin_tiny, gavin_oracle):
+    schedule = PracticalSchedule(max_samples=200)
+
+    def run():
+        return mcp_clustering(
+            gavin_tiny, K, seed=0, sample_schedule=schedule, chunk_size=128
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.clustering.covers_all
+    _pmin_results["mcp"] = min_connection_probability(result.clustering, gavin_oracle)
+
+
+def test_acp(benchmark, gavin_tiny, gavin_oracle):
+    schedule = PracticalSchedule(max_samples=200)
+
+    def run():
+        return acp_clustering(
+            gavin_tiny, K, seed=0, sample_schedule=schedule, chunk_size=128
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.clustering.covers_all
+    _pmin_results["acp"] = min_connection_probability(result.clustering, gavin_oracle)
+
+
+def test_figure1_shape_mcp_wins_pmin(gavin_tiny):
+    """Paper's headline ordering; runs after the benches above."""
+    if {"mcp", "mcl", "gmm"} <= set(_pmin_results):
+        assert _pmin_results["mcp"] >= _pmin_results["mcl"] - 0.05
+        assert _pmin_results["mcp"] >= _pmin_results["gmm"] - 0.05
+    else:
+        pytest.skip("algorithm benches did not run (filtered)")

@@ -1,0 +1,25 @@
+"""Benchmark for Figure 2: the inner/outer AVPR metric computation.
+
+The AVPR metrics are the expensive part of the Figure 2 evaluation
+(pairwise reliability over all node pairs); this measures the per-world
+group-counting implementation against a clustering of the tiny Gavin
+graph.
+"""
+
+import numpy as np
+
+from repro.baselines import gmm_clustering
+from repro.metrics import avpr
+
+
+def test_avpr_group_counting(benchmark, gavin_tiny, gavin_oracle):
+    clustering = gmm_clustering(gavin_tiny, 12, seed=0)
+    inner, outer = benchmark(avpr, clustering, gavin_oracle)
+    assert np.isfinite(inner)
+    assert np.isfinite(outer)
+
+
+def test_avpr_many_clusters(benchmark, gavin_tiny, gavin_oracle):
+    clustering = gmm_clustering(gavin_tiny, gavin_tiny.n_nodes // 3, seed=0)
+    inner, outer = benchmark(avpr, clustering, gavin_oracle)
+    assert np.isfinite(outer)

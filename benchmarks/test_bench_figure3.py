@@ -1,0 +1,19 @@
+"""Benchmark for Figure 3: the full quality-suite protocol on one graph.
+
+Measures the end-to-end cost of the paper's Figure 1-3 protocol (mcl
+granularity probe + gmm/mcp/acp at matched k + metric evaluation) at
+tiny scale.  The per-algorithm breakdown lives in the Figure 1 benches.
+"""
+
+from repro.experiments import run_quality_suite
+
+
+def test_quality_suite_single_graph(benchmark):
+    suite = benchmark.pedantic(
+        run_quality_suite,
+        args=("tiny",),
+        kwargs={"seed": 0, "datasets": ("gavin",)},
+        rounds=1,
+        iterations=1,
+    )
+    assert {record.algorithm for record in suite.records} == {"gmm", "mcl", "mcp", "acp"}

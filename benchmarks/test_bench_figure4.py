@@ -1,0 +1,45 @@
+"""Benchmarks for Figure 4: time vs k on the DBLP-like graph.
+
+mcp at two granularities (cost grows with k) and mcl at high inflation
+(its cheap regime; the low-inflation regime aborts on the memory guard
+— that failure mode is exercised in the figure-4 experiment itself, not
+timed here).
+"""
+
+from repro.baselines import mcl_clustering
+from repro.core import mcp_clustering
+from repro.sampling import PracticalSchedule
+
+SCHEDULE = PracticalSchedule(max_samples=150)
+
+
+def test_mcp_small_k(benchmark, dblp_tiny):
+    k = dblp_tiny.n_nodes // 32
+
+    def run():
+        return mcp_clustering(
+            dblp_tiny, k, seed=0, sample_schedule=SCHEDULE, chunk_size=64
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.clustering.k == k
+
+
+def test_mcp_large_k(benchmark, dblp_tiny):
+    k = dblp_tiny.n_nodes // 8
+
+    def run():
+        return mcp_clustering(
+            dblp_tiny, k, seed=0, sample_schedule=SCHEDULE, chunk_size=64
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.clustering.k == k
+
+
+def test_mcl_high_inflation(benchmark, dblp_tiny):
+    def run():
+        return mcl_clustering(dblp_tiny, inflation=2.0, max_iterations=80)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.n_clusters > 1

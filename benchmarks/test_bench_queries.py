@@ -1,0 +1,39 @@
+"""Benchmarks for the reliability-query primitives and representative worlds."""
+
+from repro.queries import (
+    k_nearest_by_reliability,
+    most_reliable_source,
+    reliable_set,
+)
+from repro.sampling.representative import (
+    average_degree_representative,
+    most_probable_world,
+)
+
+
+def test_knn_query(benchmark, gavin_oracle):
+    result = benchmark(k_nearest_by_reliability, gavin_oracle, 0, 10)
+    assert len(result) <= 10
+
+
+def test_knn_query_depth2(benchmark, gavin_oracle):
+    benchmark(k_nearest_by_reliability, gavin_oracle, 0, 10, depth=2)
+
+
+def test_reliable_set_query(benchmark, gavin_oracle):
+    benchmark(reliable_set, gavin_oracle, 0, 0.5)
+
+
+def test_most_reliable_source_20_candidates(benchmark, gavin_oracle):
+    candidates = list(range(20))
+    benchmark(most_reliable_source, gavin_oracle, candidates)
+
+
+def test_most_probable_world(benchmark, gavin_tiny):
+    mask = benchmark(most_probable_world, gavin_tiny)
+    assert mask.shape == (gavin_tiny.n_edges,)
+
+
+def test_average_degree_representative(benchmark, gavin_tiny):
+    mask = benchmark(average_degree_representative, gavin_tiny)
+    assert mask.shape == (gavin_tiny.n_edges,)

@@ -1,0 +1,15 @@
+"""Benchmark for Table 1: dataset generation at tiny scale.
+
+Regenerates the paper's dataset-statistics table; the benchmark cost is
+dominated by the synthetic generators (the stand-ins for the paper's
+data files, see DESIGN.md substitutions).
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_regeneration(benchmark):
+    table = benchmark.pedantic(
+        table1.run, args=("tiny",), kwargs={"seed": 0}, rounds=2, iterations=1
+    )
+    assert len(table) == 4

@@ -1,0 +1,53 @@
+"""Benchmarks for Table 2: depth-limited clustering for complex prediction.
+
+Times the depth-limited mcp/acp runs (the bulk BFS oracle path) and the
+kpt baseline on the tiny Krogan-like dataset, asserting the Table 2
+quality ordering (mcp/acp beat kpt on TPR) as a regression check.
+"""
+
+from repro.baselines import kpt_clustering
+from repro.core import acp_clustering, mcp_clustering
+from repro.metrics import pair_confusion
+from repro.sampling import PracticalSchedule
+
+SCHEDULE = PracticalSchedule(max_samples=100)
+_tprs = {}
+
+
+def _k_for(graph):
+    return max(2, round(0.21 * graph.n_nodes))
+
+
+def test_mcp_depth2(benchmark, krogan_tiny):
+    graph = krogan_tiny.graph
+
+    def run():
+        return mcp_clustering(
+            graph, _k_for(graph), depth=2, seed=0, sample_schedule=SCHEDULE, chunk_size=64
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    _tprs["mcp"] = pair_confusion(result.clustering, krogan_tiny.complexes).tpr
+
+
+def test_acp_depth2(benchmark, krogan_tiny):
+    graph = krogan_tiny.graph
+
+    def run():
+        return acp_clustering(
+            graph, _k_for(graph), depth=2, seed=0, sample_schedule=SCHEDULE, chunk_size=64
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    _tprs["acp"] = pair_confusion(result.clustering, krogan_tiny.complexes).tpr
+
+
+def test_kpt(benchmark, krogan_tiny):
+    clustering = benchmark(kpt_clustering, krogan_tiny.graph, seed=0)
+    _tprs["kpt"] = pair_confusion(clustering, krogan_tiny.complexes).tpr
+
+
+def test_table2_shape_kpt_lowest_tpr(krogan_tiny):
+    if {"mcp", "acp", "kpt"} <= set(_tprs):
+        assert _tprs["mcp"] > _tprs["kpt"]
+        assert _tprs["acp"] > _tprs["kpt"]

@@ -1,0 +1,59 @@
+"""Clustering a DBLP-like collaboration network: mcp vs mcl.
+
+Reproduces the Figure 1/4 story at example scale: on collaboration
+graphs, topology-driven clustering (mcl) leaves some nodes almost
+disconnected (in probability) from their cluster; mcp guarantees a
+floor.  mcl is also slowest exactly where small cluster counts are
+wanted, while mcp's cost grows gently with k.
+
+Run:  python examples/collaboration_clustering.py
+"""
+
+import time
+
+from repro.baselines import mcl_clustering
+from repro.core import mcp_clustering
+from repro.datasets import dblp_like
+from repro.metrics import avg_connection_probability, min_connection_probability
+from repro.sampling import MonteCarloOracle, PracticalSchedule
+
+
+def main() -> None:
+    graph = dblp_like(2500, seed=11)
+    print(f"DBLP-like collaboration graph: {graph}")
+    print("edge probabilities follow 1 - exp(-x/2) for x co-authored papers\n")
+
+    evaluation = MonteCarloOracle(graph, seed=99, chunk_size=64)
+    evaluation.ensure_samples(300)
+
+    print(f"{'algorithm':<22} {'k':>5} {'pmin':>7} {'pavg':>7} {'time':>8}")
+    schedule = PracticalSchedule(max_samples=400)
+    for k in (graph.n_nodes // 32, graph.n_nodes // 16, graph.n_nodes // 8):
+        start = time.perf_counter()
+        result = mcp_clustering(graph, k, seed=k, sample_schedule=schedule, chunk_size=128)
+        elapsed = time.perf_counter() - start
+        pmin = min_connection_probability(result.clustering, evaluation)
+        pavg = avg_connection_probability(result.clustering, evaluation)
+        print(f"{'mcp':<22} {k:>5} {pmin:>7.3f} {pavg:>7.3f} {elapsed:>7.1f}s")
+
+    for inflation in (1.5, 2.0):
+        start = time.perf_counter()
+        try:
+            mcl = mcl_clustering(graph, inflation=inflation, max_nnz=graph.n_nodes**2 // 2)
+        except MemoryError:
+            print(f"{'mcl (infl=' + str(inflation) + ')':<22} {'-':>5} {'-':>7} {'-':>7} "
+                  f"{time.perf_counter() - start:>7.1f}s  failed (memory)")
+            continue
+        elapsed = time.perf_counter() - start
+        pmin = min_connection_probability(mcl.clustering, evaluation)
+        pavg = avg_connection_probability(mcl.clustering, evaluation)
+        print(f"{'mcl (infl=' + str(inflation) + ')':<22} {mcl.n_clusters:>5} "
+              f"{pmin:>7.3f} {pavg:>7.3f} {elapsed:>7.1f}s")
+
+    print("\nReading: mcl's pmin collapses toward 0 (some co-author is nearly"
+          "\nunreachable in a random world), mcp keeps a positive floor at"
+          "\ncomparable pavg and predictable cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""The Set Cover -> MCP reduction of Theorem 2, executed end to end.
+
+Builds the paper's NP-hardness gadget for a small set cover instance
+and verifies — with exact connection probabilities and brute-force
+optimal clusterings — that the MCP decision threshold separates
+coverable from uncoverable ``k`` exactly as the theorem states.
+
+Run:  python examples/hardness_reduction.py
+"""
+
+from repro.core import optimal_min_prob
+from repro.reductions import (
+    SetCoverInstance,
+    greedy_set_cover,
+    has_set_cover_of_size,
+    set_cover_to_mcp,
+)
+from repro.sampling import ExactOracle
+
+
+def main() -> None:
+    # Universe {0..4}; three sets; minimum cover needs 2 of them.
+    instance = SetCoverInstance(
+        universe_size=5,
+        sets=(
+            frozenset({0, 1, 2}),
+            frozenset({2, 3, 4}),
+            frozenset({1, 3}),
+        ),
+    )
+    print(f"set cover instance: universe={instance.universe_size}, "
+          f"sets={[sorted(s) for s in instance.sets]}")
+    print(f"greedy cover uses sets {greedy_set_cover(instance)}\n")
+
+    graph, threshold = set_cover_to_mcp(instance, eps=1e-4)
+    print(f"reduction graph: {graph} — every edge has probability {threshold}")
+    print("element nodes ('u', i) connect to the sets containing them;")
+    print("set nodes ('s', j) form a clique.\n")
+
+    oracle = ExactOracle(graph)
+    for k in (1, 2, 3):
+        p_opt, centers = optimal_min_prob(oracle, k)
+        decided = p_opt >= threshold
+        truth = has_set_cover_of_size(instance, k)
+        labels = [graph.label_of(c) for c in centers]
+        print(f"k={k}: p_opt_min={p_opt:.3e} >= eps? {str(decided):<5} "
+              f"| set cover of size {k} exists? {truth}  (centers: {labels})")
+        assert decided == truth, "Theorem 2 equivalence violated!"
+    print("\nThe MCP decision problem answers the set cover question exactly —")
+    print("clustering uncertain graphs is NP-hard even with an exact oracle.")
+
+
+if __name__ == "__main__":
+    main()

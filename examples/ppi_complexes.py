@@ -1,0 +1,55 @@
+"""Protein-complex prediction on a Krogan-like PPI network.
+
+Reproduces the Table 2 protocol at example scale: cluster the uncertain
+PPI graph with depth-limited MCP/ACP and score co-cluster protein pairs
+against the planted complexes (standing in for the MIPS ground truth),
+alongside the mcl and kpt baselines.
+
+Run:  python examples/ppi_complexes.py
+"""
+
+import time
+
+from repro.baselines import kpt_clustering, mcl_clustering
+from repro.core import acp_clustering, mcp_clustering
+from repro.datasets import krogan_like
+from repro.metrics import pair_confusion
+from repro.sampling import PracticalSchedule
+
+
+def main() -> None:
+    dataset = krogan_like(seed=42, scale=0.2)
+    graph = dataset.graph
+    k = max(2, round(0.21 * graph.n_nodes))  # paper: k=547 on 2559 nodes
+    print(f"{dataset.name}-like PPI: {graph}")
+    print(f"planted complexes: {len(dataset.complexes)} "
+          f"({dataset.n_complex_proteins} proteins); clustering with k={k}\n")
+
+    schedule = PracticalSchedule(max_samples=300)
+    print(f"{'algorithm':<10} {'depth':>5} {'TPR':>7} {'FPR':>7} {'time':>7}")
+    for depth in (2, 3, 4, 6):
+        for name, algorithm in (("mcp", mcp_clustering), ("acp", acp_clustering)):
+            start = time.perf_counter()
+            result = algorithm(graph, k, depth=depth, seed=depth, sample_schedule=schedule)
+            confusion = pair_confusion(result.clustering, dataset.complexes)
+            elapsed = time.perf_counter() - start
+            print(f"{name:<10} {depth:>5} {confusion.tpr:>7.3f} {confusion.fpr:>7.3f} {elapsed:>6.1f}s")
+
+    start = time.perf_counter()
+    mcl = mcl_clustering(graph, inflation=2.0)
+    confusion = pair_confusion(mcl.clustering, dataset.complexes)
+    print(f"{'mcl':<10} {'-':>5} {confusion.tpr:>7.3f} {confusion.fpr:>7.3f} "
+          f"{time.perf_counter() - start:>6.1f}s   ({mcl.n_clusters} clusters)")
+
+    start = time.perf_counter()
+    kpt = kpt_clustering(graph, seed=0)
+    confusion = pair_confusion(kpt, dataset.complexes)
+    print(f"{'kpt':<10} {'-':>5} {confusion.tpr:>7.3f} {confusion.fpr:>7.3f} "
+          f"{time.perf_counter() - start:>6.1f}s   ({kpt.k} clusters)")
+
+    print("\nReading: larger depth trades false positives for recall;"
+          "\nmcp stays conservative, acp reaches higher TPR sooner.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of "Clustering Uncertain Graphs" (VLDB 2017).
+
+Public API
+----------
+Data structure
+    :class:`UncertainGraph`
+Oracles
+    :class:`MonteCarloOracle` (progressive sampling), :class:`ExactOracle`
+Clustering algorithms
+    :func:`mcp_clustering`, :func:`acp_clustering`, :func:`min_partial`
+Baselines
+    ``repro.baselines`` — :func:`mcl_clustering`, :func:`gmm_clustering`,
+    :func:`kpt_clustering`
+Metrics
+    ``repro.metrics`` — pmin / pavg / inner- & outer-AVPR / pair confusion
+Datasets
+    ``repro.datasets`` — PPI-like and DBLP-like generators with planted
+    ground truth
+Experiments
+    ``repro.experiments`` — regenerate every table and figure of the paper
+"""
+
+from repro.exceptions import (
+    ClusteringError,
+    ExperimentError,
+    GraphValidationError,
+    OracleError,
+    ReproError,
+)
+from repro.graph import UncertainGraph, read_uncertain_graph, write_uncertain_graph
+from repro.sampling import ExactOracle, MonteCarloOracle
+from repro.core import (
+    ACPResult,
+    Clustering,
+    MCPResult,
+    MinPartialResult,
+    acp_clustering,
+    mcp_clustering,
+    min_partial,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "GraphValidationError",
+    "ClusteringError",
+    "OracleError",
+    "ExperimentError",
+    "UncertainGraph",
+    "read_uncertain_graph",
+    "write_uncertain_graph",
+    "MonteCarloOracle",
+    "ExactOracle",
+    "Clustering",
+    "MinPartialResult",
+    "min_partial",
+    "MCPResult",
+    "mcp_clustering",
+    "ACPResult",
+    "acp_clustering",
+]

@@ -1,0 +1,12 @@
+"""Competitor algorithms the paper compares against (Section 5)."""
+
+from repro.baselines.mcl import MCLResult, mcl_clustering
+from repro.baselines.gmm import gmm_clustering
+from repro.baselines.kpt import kpt_clustering
+
+__all__ = [
+    "MCLResult",
+    "mcl_clustering",
+    "gmm_clustering",
+    "kpt_clustering",
+]

@@ -1,0 +1,90 @@
+"""``gmm`` — the Gonzalez k-center heuristic on shortest-path distances.
+
+The paper's sanity-check baseline: take the classic greedy 2-approximate
+k-center algorithm of Gonzalez (repeatedly pick the node *farthest* from
+the current centers) and run it on the deterministic weighted graph with
+edge weights ``w(e) = ln(1 / p(e))``, i.e. most-probable-path distances.
+This deliberately ignores possible-world semantics — the paper uses its
+poor quality to argue that naive adaptations of deterministic clustering
+do not work on uncertain graphs.
+
+The farthest-point traversal is implemented with one single-source
+Dijkstra (C-level, via scipy) per center, maintaining the running
+minimum distance to the center set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.exceptions import ClusteringError
+from repro.graph.traversal import build_csr_matrix
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.rng import ensure_rng
+
+from scipy.sparse import csgraph
+
+
+def gmm_clustering(
+    graph: UncertainGraph,
+    k: int,
+    *,
+    seed=None,
+    first_center: int | None = None,
+) -> Clustering:
+    """Greedy k-center on ``-ln p`` shortest-path distances.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph (probabilities become weights).
+    k:
+        Number of clusters, ``1 <= k < n``.
+    seed:
+        Seeds the choice of the first center (Gonzalez starts from an
+        arbitrary node) unless ``first_center`` pins it.
+
+    Returns
+    -------
+    Clustering
+        Full k-clustering; each node is assigned to its nearest center.
+        ``center_connection`` carries ``exp(-dist)``, the probability of
+        the most probable path — an upper-bound proxy, *not* the true
+        connection probability (use the metrics module with an oracle
+        for honest quality numbers).
+    """
+    n = graph.n_nodes
+    if not 1 <= k < n:
+        raise ClusteringError(f"k must satisfy 1 <= k < n_nodes ({n}), got {k}")
+    rng = ensure_rng(seed)
+    if first_center is None:
+        first_center = int(rng.integers(n))
+    if not 0 <= first_center < n:
+        raise ClusteringError(f"first_center {first_center} out of range [0, {n})")
+
+    weights = graph.log_distance_weights()
+    matrix = build_csr_matrix(graph, weights=weights)
+
+    centers = [first_center]
+    dist_to_set = csgraph.dijkstra(matrix, directed=False, indices=first_center)
+    nearest = np.zeros(n, dtype=np.int32)
+    while len(centers) < k:
+        farthest = int(np.argmax(dist_to_set))
+        if dist_to_set[farthest] == 0.0:
+            # All remaining nodes coincide with a center (duplicate
+            # distances 0); pick any non-center to keep centers distinct.
+            remaining = np.setdiff1d(np.arange(n), np.asarray(centers))
+            farthest = int(remaining[0])
+        centers.append(farthest)
+        dist_new = csgraph.dijkstra(matrix, directed=False, indices=farthest)
+        closer = dist_new < dist_to_set
+        nearest[closer] = len(centers) - 1
+        dist_to_set = np.where(closer, dist_new, dist_to_set)
+
+    centers_arr = np.asarray(centers, dtype=np.intp)
+    assignment = nearest.astype(np.int32)
+    assignment[centers_arr] = np.arange(k, dtype=np.int32)
+    with np.errstate(over="ignore"):
+        proxy = np.exp(-dist_to_set)
+    return Clustering(n, centers_arr, assignment, np.clip(proxy, 0.0, 1.0))

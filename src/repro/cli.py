@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli stats graph.uel
+    python -m repro.cli estimate graph.uel A B --samples 4000
+    python -m repro.cli cluster graph.uel --k 20 --algorithm mcp -o out.tsv
+    python -m repro.cli generate krogan --scale 0.2 -o krogan.uel
+
+Graphs are read/written in the ``.uel`` text format (``u v probability``
+per line); clusterings are written as TSV ``node<TAB>cluster<TAB>center``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.baselines.gmm import gmm_clustering
+from repro.baselines.kpt import kpt_clustering
+from repro.baselines.mcl import mcl_clustering
+from repro.core.acp import acp_clustering
+from repro.core.clustering import Clustering
+from repro.core.mcp import mcp_clustering
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.exceptions import ReproError
+from repro.graph.io import read_uncertain_graph, write_uncertain_graph
+from repro.sampling.oracle import MonteCarloOracle
+from repro.sampling.sizes import PracticalSchedule
+
+_CLUSTER_ALGORITHMS = ("mcp", "acp", "mcl", "gmm", "kpt")
+
+
+def _write_clustering(clustering: Clustering, graph, stream) -> None:
+    labels = graph.node_labels
+    stream.write("node\tcluster\tcenter\n")
+    for node in range(clustering.n_nodes):
+        cluster = int(clustering.assignment[node])
+        center = labels[clustering.centers[cluster]] if cluster >= 0 else "-"
+        stream.write(f"{labels[node]}\t{cluster}\t{center}\n")
+
+
+def _cmd_stats(args) -> int:
+    graph = read_uncertain_graph(args.graph, merge=args.merge)
+    degrees = graph.degrees()
+    prob = graph.edge_prob
+    lcc = graph.largest_component()
+    print(f"nodes            {graph.n_nodes}")
+    print(f"edges            {graph.n_edges}")
+    print(f"largest CC       {lcc.n_nodes} nodes / {lcc.n_edges} edges")
+    print(f"expected edges   {graph.expected_edge_count():.1f}")
+    if graph.n_edges:
+        print(f"degree           mean={degrees.mean():.2f} max={int(degrees.max())}")
+        print(
+            "edge probability "
+            f"min={prob.min():.3f} median={float(np.median(prob)):.3f} max={prob.max():.3f}"
+        )
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    graph = read_uncertain_graph(args.graph, merge=args.merge)
+    u = graph.index_of(args.u) if args.u in graph.node_labels else graph.index_of(_coerce(args.u))
+    v = graph.index_of(args.v) if args.v in graph.node_labels else graph.index_of(_coerce(args.v))
+    oracle = MonteCarloOracle(graph, seed=args.seed)
+    oracle.ensure_samples(args.samples)
+    estimate = oracle.connection(u, v, depth=args.depth)
+    suffix = f" (paths <= {args.depth})" if args.depth else ""
+    print(f"Pr({args.u} ~ {args.v}){suffix} ~= {estimate:.4f}  [{args.samples} worlds]")
+    return 0
+
+
+def _coerce(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _cmd_cluster(args) -> int:
+    graph = read_uncertain_graph(args.graph, merge=args.merge)
+    schedule = PracticalSchedule(max_samples=args.samples)
+    if args.algorithm == "mcp":
+        result = mcp_clustering(
+            graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule
+        )
+        clustering = result.clustering
+        print(f"mcp: k={args.k} min-prob~={result.min_prob_estimate:.3f} q={result.q_final:.4f}", file=sys.stderr)
+    elif args.algorithm == "acp":
+        result = acp_clustering(
+            graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule
+        )
+        clustering = result.clustering
+        print(f"acp: k={args.k} avg-prob~={result.avg_prob_estimate:.3f}", file=sys.stderr)
+    elif args.algorithm == "mcl":
+        result = mcl_clustering(graph, inflation=args.inflation)
+        clustering = result.clustering
+        print(f"mcl: inflation={args.inflation} -> {result.n_clusters} clusters", file=sys.stderr)
+    elif args.algorithm == "gmm":
+        clustering = gmm_clustering(graph, args.k, seed=args.seed)
+    elif args.algorithm == "kpt":
+        clustering = kpt_clustering(graph, seed=args.seed)
+        print(f"kpt: {clustering.k} clusters", file=sys.stderr)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown algorithm {args.algorithm}")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            _write_clustering(clustering, graph, handle)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        _write_clustering(clustering, graph, sys.stdout)
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    graph, complexes = load_dataset(args.dataset, seed=args.seed, scale=args.scale, dblp_authors=args.dblp_authors)
+    write_uncertain_graph(graph, args.output, header=f"{args.dataset} (seed={args.seed}, scale={args.scale})")
+    message = f"wrote {args.output}: {graph.n_nodes} nodes, {graph.n_edges} edges"
+    if complexes is not None:
+        message += f", {len(complexes)} planted complexes"
+    print(message, file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="print statistics of a .uel graph")
+    stats.add_argument("graph")
+    stats.add_argument("--merge", default="error", help="duplicate-edge policy")
+    stats.set_defaults(func=_cmd_stats)
+
+    estimate = sub.add_parser("estimate", help="estimate a connection probability")
+    estimate.add_argument("graph")
+    estimate.add_argument("u")
+    estimate.add_argument("v")
+    estimate.add_argument("--samples", type=int, default=2000)
+    estimate.add_argument("--depth", type=int, default=None)
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument("--merge", default="error")
+    estimate.set_defaults(func=_cmd_estimate)
+
+    cluster = sub.add_parser("cluster", help="cluster a .uel graph")
+    cluster.add_argument("graph")
+    cluster.add_argument("--algorithm", choices=_CLUSTER_ALGORITHMS, default="mcp")
+    cluster.add_argument("--k", type=int, default=10, help="clusters (mcp/acp/gmm)")
+    cluster.add_argument("--depth", type=int, default=None, help="path-length limit (mcp/acp)")
+    cluster.add_argument("--inflation", type=float, default=2.0, help="mcl granularity")
+    cluster.add_argument("--samples", type=int, default=1000, help="Monte Carlo budget")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--merge", default="error")
+    cluster.add_argument("-o", "--output", default=None, help="write TSV here (default stdout)")
+    cluster.set_defaults(func=_cmd_cluster)
+
+    generate = sub.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("dataset", choices=DATASET_NAMES)
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--dblp-authors", type=int, default=20_000)
+    generate.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

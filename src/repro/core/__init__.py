@@ -1,0 +1,39 @@
+"""The paper's clustering algorithms: min-partial, MCP and ACP."""
+
+from repro.core.clustering import Clustering, complete_clustering
+from repro.core.partial import MinPartialResult, min_partial
+from repro.core.mcp import MCPResult, mcp_clustering
+from repro.core.acp import ACPResult, acp_clustering
+from repro.core.schedule import doubling_guesses, geometric_guesses, resolve_guess_schedule
+from repro.core.bruteforce import optimal_avg_prob, optimal_clustering, optimal_min_prob
+from repro.core.bounds import (
+    GuaranteeReport,
+    acp_guarantee,
+    acp_iteration_bound,
+    guarantee_report,
+    mcp_guarantee,
+    mcp_iteration_bound,
+)
+
+__all__ = [
+    "Clustering",
+    "complete_clustering",
+    "MinPartialResult",
+    "min_partial",
+    "MCPResult",
+    "mcp_clustering",
+    "ACPResult",
+    "acp_clustering",
+    "doubling_guesses",
+    "geometric_guesses",
+    "resolve_guess_schedule",
+    "optimal_min_prob",
+    "GuaranteeReport",
+    "mcp_guarantee",
+    "acp_guarantee",
+    "mcp_iteration_bound",
+    "acp_iteration_bound",
+    "guarantee_report",
+    "optimal_avg_prob",
+    "optimal_clustering",
+]

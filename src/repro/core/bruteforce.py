@@ -1,0 +1,83 @@
+"""Brute-force optimal k-clusterings for tiny instances.
+
+Used by the test suite to validate the approximation guarantees
+(Theorems 3, 4, 5) and by the NP-hardness reduction tests.  Given the
+pairwise connection matrix, the optimal assignment for a *fixed* center
+set assigns every node to its best-connected center — for both
+objectives — so optimizing reduces to enumerating the
+``n choose k`` center sets.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.exceptions import ClusteringError
+
+_MAX_CENTER_SETS = 2_000_000
+
+
+def _pairwise(oracle, depth: int | None) -> np.ndarray:
+    return oracle.pairwise_matrix(depth=depth)
+
+
+def _check_size(n: int, k: int) -> None:
+    if not 1 <= k < n:
+        raise ClusteringError(f"k must satisfy 1 <= k < n ({n}), got {k}")
+    if math.comb(n, k) > _MAX_CENTER_SETS:
+        raise ClusteringError(
+            f"brute force over C({n},{k}) center sets exceeds the "
+            f"{_MAX_CENTER_SETS} limit; this helper is for tiny instances"
+        )
+
+
+def optimal_min_prob(oracle, k: int, depth: int | None = None) -> tuple[float, tuple[int, ...]]:
+    """``p_opt_min(k[, d])`` and one optimal center set."""
+    n = oracle.n_nodes
+    _check_size(n, k)
+    matrix = _pairwise(oracle, depth)
+    best_value = -1.0
+    best_centers: tuple[int, ...] = ()
+    for centers in combinations(range(n), k):
+        value = float(matrix[list(centers)].max(axis=0).min())
+        if value > best_value:
+            best_value = value
+            best_centers = centers
+    return best_value, best_centers
+
+
+def optimal_avg_prob(oracle, k: int, depth: int | None = None) -> tuple[float, tuple[int, ...]]:
+    """``p_opt_avg(k[, d])`` and one optimal center set."""
+    n = oracle.n_nodes
+    _check_size(n, k)
+    matrix = _pairwise(oracle, depth)
+    best_value = -1.0
+    best_centers: tuple[int, ...] = ()
+    for centers in combinations(range(n), k):
+        value = float(matrix[list(centers)].max(axis=0).mean())
+        if value > best_value:
+            best_value = value
+            best_centers = centers
+    return best_value, best_centers
+
+
+def optimal_clustering(oracle, k: int, objective: str = "min", depth: int | None = None) -> Clustering:
+    """Optimal full k-clustering under ``objective`` in {"min", "avg"}."""
+    if objective == "min":
+        _, centers = optimal_min_prob(oracle, k, depth)
+    elif objective == "avg":
+        _, centers = optimal_avg_prob(oracle, k, depth)
+    else:
+        raise ClusteringError(f"objective must be 'min' or 'avg', got {objective!r}")
+    matrix = _pairwise(oracle, depth)
+    rows = matrix[list(centers)]
+    assignment = np.argmax(rows, axis=0).astype(np.int32)
+    centers_arr = np.asarray(centers, dtype=np.intp)
+    assignment[centers_arr] = np.arange(k, dtype=np.int32)
+    n = matrix.shape[0]
+    probs = rows[assignment, np.arange(n)]
+    return Clustering(n, centers_arr, assignment, probs)

@@ -1,0 +1,113 @@
+"""Guessing schedules for the probability threshold ``q``.
+
+Both MCP (Algorithm 2) and ACP (Algorithm 3) repeatedly run
+``min-partial`` with progressively smaller thresholds.  Two schedules
+are provided:
+
+* :func:`geometric_guesses` — the schedule of the pseudocode:
+  ``q = 1, 1/(1+gamma), 1/(1+gamma)^2, ...`` down to ``p_lower``.
+* :func:`doubling_guesses` — the schedule the paper's experiments use
+  (Section 5): ``q_i = max(1 - gamma * 2^i, p_lower)``, which reaches
+  small thresholds in ``O(log(1/gamma))`` coarse steps and relies on a
+  subsequent binary search (:func:`refine_between`) to recover the
+  precision, "essentially equivalent up to constant factors".
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.exceptions import ClusteringError
+
+
+def geometric_guesses(gamma: float, p_lower: float) -> list[float]:
+    """Thresholds ``1, 1/(1+gamma), ...`` down to (and including) ``p_lower``."""
+    _check(gamma, p_lower)
+    guesses = []
+    q = 1.0
+    while q > p_lower:
+        guesses.append(q)
+        q /= 1.0 + gamma
+    guesses.append(p_lower)
+    return guesses
+
+
+def doubling_guesses(gamma: float, p_lower: float) -> list[float]:
+    """Paper Section 5 schedule: ``q_i = max(1 - gamma * 2^i, p_lower)``.
+
+    A leading guess of 1.0 is included so graphs whose optimum is
+    certainty are resolved immediately (Algorithm 2 starts at ``q = 1``).
+    """
+    _check(gamma, p_lower)
+    guesses = [1.0]
+    i = 0
+    while True:
+        q = 1.0 - gamma * 2.0**i
+        i += 1
+        if q <= p_lower:
+            guesses.append(p_lower)
+            return guesses
+        if q < guesses[-1]:
+            guesses.append(q)
+
+
+def _check(gamma: float, p_lower: float) -> None:
+    if gamma <= 0:
+        raise ClusteringError(f"gamma must be positive, got {gamma}")
+    if not 0 < p_lower <= 1:
+        raise ClusteringError(f"p_lower must be in (0, 1], got {p_lower}")
+
+
+def resolve_guess_schedule(
+    schedule: str | Iterable[float],
+    gamma: float,
+    p_lower: float,
+) -> list[float]:
+    """Materialize a guess schedule from a name or an explicit sequence."""
+    if isinstance(schedule, str):
+        if schedule == "geometric":
+            return geometric_guesses(gamma, p_lower)
+        if schedule == "doubling":
+            return doubling_guesses(gamma, p_lower)
+        raise ClusteringError(
+            f"unknown schedule {schedule!r}; expected 'geometric', 'doubling' or a sequence"
+        )
+    guesses = [float(q) for q in schedule]
+    if not guesses:
+        raise ClusteringError("an explicit guess schedule cannot be empty")
+    if any(not 0 < q <= 1 for q in guesses):
+        raise ClusteringError("guesses must lie in (0, 1]")
+    if any(b >= a for a, b in zip(guesses, guesses[1:])):
+        raise ClusteringError("guesses must be strictly decreasing")
+    return guesses
+
+
+def refine_between(
+    q_low: float,
+    q_high: float,
+    succeeds: Callable[[float], bool],
+    *,
+    ratio: float,
+) -> float:
+    """Binary search for the largest succeeding threshold in ``[q_low, q_high]``.
+
+    ``succeeds(q_low)`` must hold and ``q_high`` must have failed.
+    Probes geometric midpoints until ``q_low / q_high > ratio`` (the
+    paper stops when the lower/upper ratio exceeds ``1 - gamma``).
+    Returns the largest threshold observed to succeed.
+    """
+    if not 0 < q_low < q_high:
+        raise ClusteringError(f"need 0 < q_low < q_high, got {q_low}, {q_high}")
+    if not 0 < ratio < 1:
+        raise ClusteringError(f"ratio must be in (0, 1), got {ratio}")
+    best = q_low
+    low, high = q_low, q_high
+    while low / high <= ratio:
+        mid = math.sqrt(low * high)
+        if succeeds(mid):
+            best = mid
+            low = mid
+        else:
+            high = mid
+    return best

@@ -1,0 +1,137 @@
+"""DBLP-like collaboration graphs.
+
+The paper derives an uncertain graph from DBLP: authors are nodes, an
+edge connects co-authors of at least one journal paper, and the edge
+probability is ``1 - exp(-x/2)`` where ``x`` is the number of
+co-authored papers (one collaboration -> 0.39, two -> 0.63, five ->
+0.91; about 80% of the edges sit at 0.39 and 12% at 0.63).
+
+This generator reproduces that construction from a synthetic
+publication process: papers arrive with small author teams whose
+members are drawn with preferential attachment (prolific authors keep
+publishing), which yields both a heavy-tailed degree distribution and
+the observed collaboration-count distribution.  The paper's graph has
+636,751 nodes — far beyond a pure-Python laptop run — so the default
+size is scaled down; the construction (and hence the probability law)
+is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphValidationError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.rng import ensure_rng
+
+
+def collaboration_probability(x) -> np.ndarray:
+    """Edge probability for ``x`` co-authored papers: ``1 - exp(-x/2)``."""
+    return -np.expm1(-0.5 * np.asarray(x, dtype=np.float64))
+
+
+# Distribution of per-pair collaboration counts reported in the paper:
+# ~80% of edges at x=1 (p=0.39), ~12% at x=2 (p=0.63), remaining 8%
+# higher.  The tail follows the paper's "authors likely to collaborate
+# again" intuition with geometrically decaying mass.
+_COLLAB_COUNTS = np.array([1, 2, 3, 4, 5, 7, 10])
+_COLLAB_WEIGHTS = np.array([0.80, 0.12, 0.04, 0.02, 0.012, 0.006, 0.002])
+
+
+def sample_collaboration_counts(m: int, rng) -> np.ndarray:
+    """Sample per-edge co-authored-paper counts with the paper's marginal."""
+    weights = _COLLAB_WEIGHTS / _COLLAB_WEIGHTS.sum()
+    return rng.choice(_COLLAB_COUNTS, size=m, p=weights)
+
+
+def dblp_like(
+    n_authors: int = 20_000,
+    *,
+    papers_per_author: float = 1.4,
+    team_mean: float = 1.15,
+    preferential_weight: float = 0.8,
+    seed=None,
+    largest_cc: bool = True,
+) -> UncertainGraph:
+    """Generate a DBLP-like uncertain collaboration graph.
+
+    Parameters
+    ----------
+    n_authors:
+        Author pool size before restriction to the largest component.
+    papers_per_author:
+        Controls the paper count (``n_papers = papers_per_author * n_authors``).
+    team_mean:
+        Mean of the Poisson governing extra co-authors per paper
+        (team size is ``2 + Poisson(team_mean - 1)`` clipped to [2, 6];
+        single-author papers create no edges and are skipped).
+    preferential_weight:
+        Strength of preferential attachment: author sampling weights are
+        ``1 + preferential_weight * papers_so_far``.  Zero gives uniform
+        team sampling; larger values fatten the collaboration tail.
+    largest_cc:
+        Restrict the result to the largest connected component (paper
+        protocol).
+
+    Returns
+    -------
+    UncertainGraph
+        Collaboration graph with probabilities ``1 - exp(-x/2)``.
+    """
+    if n_authors < 10:
+        raise GraphValidationError(f"n_authors must be >= 10, got {n_authors}")
+    if papers_per_author <= 0 or team_mean < 1.0:
+        raise GraphValidationError("papers_per_author must be > 0 and team_mean >= 1")
+    rng = ensure_rng(seed)
+    n_papers = int(papers_per_author * n_authors)
+
+    # Preferential attachment via a growing endpoint pool: each authorship
+    # appends `preferential_weight` copies of the author (in expectation)
+    # to the pool, so busy authors are drawn more often.
+    weights = np.ones(n_authors, dtype=np.float64)
+    pair_src: list[np.ndarray] = []
+    pair_dst: list[np.ndarray] = []
+    team_sizes = 2 + rng.poisson(team_mean - 1.0, size=n_papers)
+    np.clip(team_sizes, 2, 6, out=team_sizes)
+
+    # Vectorize in batches: weights change slowly, so refreshing the
+    # cumulative distribution every batch is an excellent approximation
+    # of per-paper updates and orders of magnitude faster.
+    batch = max(256, n_papers // 64)
+    for start in range(0, n_papers, batch):
+        sizes = team_sizes[start:start + batch]
+        total = int(sizes.sum())
+        cumulative = np.cumsum(weights)
+        cumulative /= cumulative[-1]
+        draws = np.searchsorted(cumulative, rng.random(total))
+        np.add.at(weights, draws, preferential_weight)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        for i in range(len(sizes)):
+            team = np.unique(draws[offsets[i]:offsets[i + 1]])
+            if len(team) < 2:
+                continue
+            u, v = np.meshgrid(team, team, indexing="ij")
+            upper = u < v
+            pair_src.append(u[upper])
+            pair_dst.append(v[upper])
+
+    if not pair_src:
+        raise GraphValidationError("the publication process produced no collaborations")
+    src = np.concatenate(pair_src)
+    dst = np.concatenate(pair_dst)
+    keys = src.astype(np.int64) * n_authors + dst
+    unique_keys, process_counts = np.unique(keys, return_counts=True)
+    edge_src = (unique_keys // n_authors).astype(np.intp)
+    edge_dst = (unique_keys % n_authors).astype(np.intp)
+    # The publication process fixes the topology; per-pair collaboration
+    # counts follow the paper's reported marginal (pairs that the
+    # process itself repeated keep their higher count).
+    counts = np.maximum(
+        process_counts, sample_collaboration_counts(len(unique_keys), rng)
+    )
+    prob = collaboration_probability(counts)
+
+    graph = UncertainGraph(n_authors, edge_src, edge_dst, prob, validate=False)
+    if largest_cc:
+        graph = graph.largest_component()
+    return graph

@@ -1,0 +1,42 @@
+"""Name-based dataset registry used by the experiment harness."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.datasets.collaboration import dblp_like
+from repro.datasets.ppi import PPIDataset, collins_like, gavin_like, krogan_like
+from repro.exceptions import ExperimentError
+from repro.graph.uncertain_graph import UncertainGraph
+
+DATASET_NAMES = ("collins", "gavin", "krogan", "dblp")
+
+_PPI_GENERATORS: dict[str, Callable[..., PPIDataset]] = {
+    "collins": collins_like,
+    "gavin": gavin_like,
+    "krogan": krogan_like,
+}
+
+
+def load_dataset(
+    name: str,
+    *,
+    seed=0,
+    scale: float = 1.0,
+    dblp_authors: int = 20_000,
+) -> tuple[UncertainGraph, tuple[np.ndarray, ...] | None]:
+    """Load a dataset by name, returning ``(graph, complexes_or_None)``.
+
+    ``scale`` shrinks the PPI networks proportionally (1.0 = paper
+    sizes); ``dblp_authors`` sets the DBLP author pool, which the paper
+    cannot be matched on in pure Python (see DESIGN.md).
+    """
+    if name in _PPI_GENERATORS:
+        dataset = _PPI_GENERATORS[name](seed=seed, scale=scale)
+        return dataset.graph, dataset.complexes
+    if name == "dblp":
+        authors = max(int(dblp_authors * scale), 100)
+        return dblp_like(authors, seed=seed), None
+    raise ExperimentError(f"unknown dataset {name!r}; available: {DATASET_NAMES}")

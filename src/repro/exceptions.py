@@ -1,0 +1,45 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch a single type at API boundaries while the concrete
+subclasses keep failure modes distinguishable in tests and logs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class GraphValidationError(ReproError, ValueError):
+    """An uncertain graph failed structural validation.
+
+    Raised for out-of-range edge probabilities, self loops, duplicate
+    edges (when no merge policy is selected), unknown node labels, or
+    inconsistent array shapes.
+    """
+
+
+class ClusteringError(ReproError, ValueError):
+    """A clustering request or result is invalid.
+
+    Raised for out-of-range ``k``, malformed assignments (e.g. a center
+    that does not belong to its own cluster), or algorithms invoked on
+    inputs they cannot handle (e.g. more connected components than
+    clusters when a full cover is required).
+    """
+
+
+class OracleError(ReproError, RuntimeError):
+    """A connection-probability oracle cannot satisfy a request.
+
+    Raised when an exact oracle is asked to enumerate too many worlds,
+    when a Monte Carlo oracle would exceed its configured sample budget,
+    or when a depth-limited query is issued against an oracle that was
+    not configured to answer it.
+    """
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment configuration or run is invalid."""

@@ -1,0 +1,100 @@
+"""Scale presets for the experiment harness.
+
+The paper runs on a 4-core C++/OpenMP implementation; this is a pure
+Python reproduction on commodity hardware, so each exhibit supports
+three scales:
+
+``tiny``
+    Seconds; used by the pytest benchmarks and CI smoke runs.
+``small``
+    Minutes on a laptop; the default for EXPERIMENTS.md.  PPI networks
+    at a fraction of the paper's node counts, DBLP at a few thousand
+    authors.
+``paper``
+    PPI networks at the paper's full node/edge counts; DBLP remains
+    scaled (636k nodes is out of reach for pure Python — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ExperimentError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All knobs that trade fidelity for time in one bundle."""
+
+    name: str
+    ppi_scale: float
+    dblp_authors: int
+    metric_samples: int
+    max_algo_samples: int
+    mcl_inflations_ppi: tuple[float, ...]
+    mcl_inflations_dblp: tuple[float, ...]
+    table2_scale: float
+    table2_depths: tuple[int, ...]
+    table2_samples: int
+    figure4_k_fractions: tuple[float, ...]
+
+    def __post_init__(self):
+        if not 0 < self.ppi_scale <= 1:
+            raise ExperimentError(f"ppi_scale must be in (0, 1], got {self.ppi_scale}")
+        if self.metric_samples < 10:
+            raise ExperimentError("metric_samples must be at least 10")
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "tiny": ExperimentScale(
+        name="tiny",
+        ppi_scale=0.08,
+        dblp_authors=1500,
+        metric_samples=120,
+        max_algo_samples=200,
+        mcl_inflations_ppi=(1.5, 2.0),
+        mcl_inflations_dblp=(2.0,),
+        table2_scale=0.08,
+        table2_depths=(2, 3),
+        table2_samples=100,
+        figure4_k_fractions=(1 / 32, 1 / 16),
+    ),
+    "small": ExperimentScale(
+        name="small",
+        ppi_scale=0.35,
+        dblp_authors=3000,
+        metric_samples=300,
+        max_algo_samples=500,
+        mcl_inflations_ppi=(1.2, 1.5, 2.0),
+        mcl_inflations_dblp=(1.3, 1.5, 2.0),
+        table2_scale=0.30,
+        table2_depths=(2, 3, 4, 6, 8),
+        table2_samples=200,
+        figure4_k_fractions=(1 / 64, 1 / 32, 1 / 16, 1 / 8),
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        ppi_scale=1.0,
+        dblp_authors=8_000,
+        metric_samples=500,
+        max_algo_samples=1000,
+        mcl_inflations_ppi=(1.2, 1.5, 2.0),
+        mcl_inflations_dblp=(1.3, 1.5, 2.0),
+        table2_scale=0.60,
+        table2_depths=(2, 3, 4, 6, 8),
+        table2_samples=300,
+        figure4_k_fractions=(1 / 64, 1 / 32, 1 / 16, 1 / 8),
+    ),
+}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    """Resolve a scale preset by name (or pass a custom one through)."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scale {scale!r}; available: {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,37 @@
+"""Figure 1: minimum (pmin) and average (pavg) connection probability.
+
+The paper's headline quality comparison: for each graph and each mcl-
+derived value of ``k``, the four algorithms' pmin (top row of the
+figure) and pavg (bottom row).  Expected shape: mcp wins pmin
+everywhere (gmm/mcl near zero on DBLP), acp's pavg is comparable to
+mcl's, gmm's pavg is lowest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.suite import QualitySuiteResult, run_quality_suite
+from repro.utils.tables import TextTable
+
+
+def build_table(suite: QualitySuiteResult) -> TextTable:
+    """Slice a quality-suite result into the Figure 1 table."""
+    table = TextTable(
+        ["graph", "k", "algorithm", "pmin", "pavg", "note"],
+        title=f"Figure 1 — pmin / pavg per (graph, k, algorithm), scale={suite.scale_name}",
+    )
+    for record in suite.records:
+        table.add_row(
+            graph=record.graph,
+            k=record.k,
+            algorithm=record.algorithm,
+            pmin=record.pmin,
+            pavg=record.pavg,
+            note=record.note,
+        )
+    return table
+
+
+def run(scale: str | ExperimentScale = "small", *, seed: int = 0) -> TextTable:
+    """Run the quality suite and build the Figure 1 table."""
+    return build_table(run_quality_suite(scale, seed=seed))

@@ -1,0 +1,37 @@
+"""Figure 2: inner- and outer-AVPR (average vertex pairwise reliability).
+
+inner-AVPR (higher is better) averages pairwise connection probability
+within clusters; outer-AVPR (lower is better) across clusters.  Expected
+shape: mcp/acp match the baselines on inner-AVPR but achieve clearly
+lower outer-AVPR, while mcl/gmm score similarly on both sides —
+evidence they follow topology rather than connection probabilities.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.suite import QualitySuiteResult, run_quality_suite
+from repro.utils.tables import TextTable
+
+
+def build_table(suite: QualitySuiteResult) -> TextTable:
+    """Slice a quality-suite result into the Figure 2 table."""
+    table = TextTable(
+        ["graph", "k", "algorithm", "inner_avpr", "outer_avpr", "note"],
+        title=f"Figure 2 — inner/outer AVPR per (graph, k, algorithm), scale={suite.scale_name}",
+    )
+    for record in suite.records:
+        table.add_row(
+            graph=record.graph,
+            k=record.k,
+            algorithm=record.algorithm,
+            inner_avpr=record.inner_avpr,
+            outer_avpr=record.outer_avpr,
+            note=record.note,
+        )
+    return table
+
+
+def run(scale: str | ExperimentScale = "small", *, seed: int = 0) -> TextTable:
+    """Run the quality suite and build the Figure 2 table."""
+    return build_table(run_quality_suite(scale, seed=seed))

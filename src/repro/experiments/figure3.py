@@ -1,0 +1,36 @@
+"""Figure 3: running times of the four algorithms.
+
+Expected shape: gmm fastest (no possible-world sampling, linear in k);
+mcl's time *decreases* with k (low inflation = slow convergence + dense
+flow matrices); mcp/acp in between, driven by the progressive sampler.
+Absolute numbers are not comparable to the paper's C++/OpenMP runs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.suite import QualitySuiteResult, run_quality_suite
+from repro.utils.tables import TextTable
+
+
+def build_table(suite: QualitySuiteResult) -> TextTable:
+    """Slice a quality-suite result into the Figure 3 table."""
+    table = TextTable(
+        ["graph", "k", "algorithm", "time_ms", "note"],
+        float_format=".1f",
+        title=f"Figure 3 — running time (ms), scale={suite.scale_name}",
+    )
+    for record in suite.records:
+        table.add_row(
+            graph=record.graph,
+            k=record.k,
+            algorithm=record.algorithm,
+            time_ms=record.time_ms,
+            note=record.note,
+        )
+    return table
+
+
+def run(scale: str | ExperimentScale = "small", *, seed: int = 0) -> TextTable:
+    """Run the quality suite and build the Figure 3 table."""
+    return build_table(run_quality_suite(scale, seed=seed))

@@ -1,0 +1,111 @@
+"""Drive the full evaluation: every table and figure in one run.
+
+Usage::
+
+    python -m repro.experiments.run_all --scale small --seed 0 \
+        --output results/experiments_small.md
+
+Figures 1-3 share one quality-suite run; Table 1, Figure 4 and Table 2
+run their own protocols.  The combined report is printed and optionally
+written to a markdown file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import math
+
+from repro.experiments import figure1, figure2, figure3, figure4, table1, table2
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.reference import shape_claims
+from repro.experiments.suite import run_quality_suite
+from repro.utils.tables import TextTable
+
+
+def _shape_claim_table(suite) -> TextTable:
+    """Evaluate the paper's headline orderings on paper and measured data."""
+    measured_pmin = {}
+    measured_outer = {}
+    for record in suite.records:
+        key = (record.graph, record.k, record.algorithm)
+        if not math.isnan(record.pmin):
+            measured_pmin[key] = record.pmin
+        if math.isfinite(record.outer_avpr):
+            measured_outer[key] = record.outer_avpr
+    paper = dict(shape_claims())
+    # Metric estimates come from a few hundred sampled worlds: allow the
+    # Monte Carlo noise band when judging a single measured run.
+    measured = dict(shape_claims(pmin=measured_pmin, outer=measured_outer, tolerance=0.03))
+    table = TextTable(
+        ["claim", "paper", "measured"],
+        title="Shape claims — paper's published values vs this run (±0.03 noise band)",
+    )
+    for claim, holds in paper.items():
+        table.add_row(claim=claim, paper=holds, measured=measured.get(claim))
+    return table
+
+
+def build_report(scale: str = "small", *, seed: int = 0, verbose: bool = True) -> str:
+    """Run everything and return the markdown report."""
+    scale_obj = get_scale(scale)
+
+    def progress(message: str) -> None:
+        if verbose:
+            print(f"  {message}", file=sys.stderr, flush=True)
+
+    sections: list[str] = [
+        f"# Experiment report — scale={scale_obj.name}, seed={seed}",
+        "",
+    ]
+    started = time.perf_counter()
+
+    progress("Table 1 ...")
+    sections.append(table1.run(scale_obj, seed=seed).render())
+    sections.append("")
+
+    progress("Quality suite (Figures 1-3) ...")
+    suite = run_quality_suite(scale_obj, seed=seed, progress=progress)
+    sections.append(figure1.build_table(suite).render())
+    sections.append("")
+    sections.append(figure2.build_table(suite).render())
+    sections.append("")
+    sections.append(figure3.build_table(suite).render())
+    sections.append("")
+    sections.append(_shape_claim_table(suite).render())
+    sections.append("")
+
+    progress("Figure 4 ...")
+    sections.append(figure4.run(scale_obj, seed=seed).render())
+    sections.append("")
+
+    progress("Table 2 ...")
+    sections.append(table2.run(scale_obj, seed=seed, progress=progress).render())
+    sections.append("")
+
+    sections.append(
+        f"_Total wall-clock: {time.perf_counter() - started:.1f} s._"
+    )
+    return "\n".join(sections)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default=None, help="write the report to this file")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    report = build_report(args.scale, seed=args.seed, verbose=not args.quiet)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""Connected components over node/edge arrays.
+
+Two implementations are provided:
+
+* :class:`UnionFind` — an array-based disjoint-set forest with union by
+  size and path halving.  Used where edges arrive incrementally or where
+  pulling in a scipy sparse matrix would cost more than it saves.
+* :func:`connected_component_labels` — one-shot labelling; delegates to
+  ``scipy.sparse.csgraph`` for large inputs, where the C implementation
+  wins, and to :class:`UnionFind` for small ones.
+
+The Monte Carlo oracle (``repro.sampling``) labels *many* sampled worlds
+at once with a single block-diagonal csgraph call; see
+``repro.sampling.worlds``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
+
+# Below this edge count the pure-numpy union-find beats building a scipy
+# sparse matrix (measured in benchmarks/test_bench_substrate.py).
+_SCIPY_EDGE_THRESHOLD = 4096
+
+
+class UnionFind:
+    """Disjoint-set forest over integers ``0..n-1``.
+
+    Union by size with path halving; amortized near-constant time per
+    operation.
+    """
+
+    __slots__ = ("_parent", "_size", "n_sets")
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self._parent = np.arange(n, dtype=np.intp)
+        self._size = np.ones(n, dtype=np.intp)
+        self.n_sets = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: int) -> int:
+        """Return the representative of ``x``'s set."""
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return int(x)
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of ``x`` and ``y``; return True if they were distinct."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._size[rx] < self._size[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        self._size[rx] += self._size[ry]
+        self.n_sets -= 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)
+
+    def union_edges(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Union every pair ``(src[i], dst[i])``."""
+        for x, y in zip(src.tolist(), dst.tolist()):
+            self.union(x, y)
+
+    def labels(self) -> np.ndarray:
+        """Return a dense component-label array in ``0..n_sets-1``."""
+        n = len(self._parent)
+        roots = np.empty(n, dtype=np.intp)
+        for i in range(n):
+            roots[i] = self.find(i)
+        _, labels = np.unique(roots, return_inverse=True)
+        return labels.astype(np.int32)
+
+    def set_sizes(self) -> np.ndarray:
+        """Sizes of the current sets, ordered consistently with :meth:`labels`."""
+        labels = self.labels()
+        return np.bincount(labels)
+
+
+def connected_component_labels(
+    n_nodes: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Label connected components of an undirected graph.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes; nodes are ``0..n_nodes-1``.
+    src, dst:
+        Edge endpoint arrays (undirected; each edge listed once).
+    mask:
+        Optional boolean array selecting a subset of edges — the
+        primitive used to evaluate one possible world.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int32`` labels in ``0..n_components-1``.
+    """
+    src = np.asarray(src)
+    dst = np.asarray(dst)
+    if src.shape != dst.shape:
+        raise ValueError(f"src and dst must have equal shapes, got {src.shape} vs {dst.shape}")
+    if mask is not None:
+        src = src[mask]
+        dst = dst[mask]
+    if len(src) == 0:
+        return np.arange(n_nodes, dtype=np.int32)
+    if len(src) < _SCIPY_EDGE_THRESHOLD:
+        uf = UnionFind(n_nodes)
+        uf.union_edges(src, dst)
+        return uf.labels()
+    data = np.ones(len(src), dtype=np.int8)
+    matrix = sp.coo_matrix((data, (src, dst)), shape=(n_nodes, n_nodes))
+    _, labels = csgraph.connected_components(matrix, directed=False)
+    return labels.astype(np.int32)
+
+
+def largest_component_indices(labels: np.ndarray) -> np.ndarray:
+    """Return the (sorted) node indices of the largest component.
+
+    Ties are broken toward the smallest label so the result is
+    deterministic.
+    """
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return np.empty(0, dtype=np.intp)
+    counts = np.bincount(labels)
+    winner = int(np.argmax(counts))
+    return np.flatnonzero(labels == winner)

@@ -1,0 +1,83 @@
+"""Reading and writing uncertain graphs as text edge lists.
+
+The format (extension ``.uel``, "uncertain edge list") matches the one
+used by the authors' public code: one edge per line,
+
+    <node_u> <node_v> <probability>
+
+with ``#`` comments and blank lines ignored.  Node tokens are kept as
+strings (labels); a companion convention maps purely numeric files onto
+integer labels.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+from repro.exceptions import GraphValidationError
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+def _parse_lines(lines: Iterable[str], *, numeric_labels: bool):
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphValidationError(
+                f"line {lineno}: expected 'u v probability', got {raw.rstrip()!r}"
+            )
+        u, v, p_text = parts
+        try:
+            p = float(p_text)
+        except ValueError:
+            raise GraphValidationError(
+                f"line {lineno}: probability {p_text!r} is not a number"
+            ) from None
+        if numeric_labels:
+            try:
+                yield int(u), int(v), p
+                continue
+            except ValueError:
+                raise GraphValidationError(
+                    f"line {lineno}: node token {u!r} or {v!r} is not an integer "
+                    "(pass numeric_labels=False for string labels)"
+                ) from None
+        yield u, v, p
+
+
+def read_uncertain_graph(
+    path: str | os.PathLike,
+    *,
+    numeric_labels: bool = False,
+    merge: str = "error",
+) -> UncertainGraph:
+    """Read an uncertain graph from a ``.uel`` text file.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    numeric_labels:
+        Parse node tokens as integers (labels become ints).
+    merge:
+        Duplicate-edge policy forwarded to
+        :meth:`UncertainGraph.from_edges`.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        return UncertainGraph.from_edges(
+            _parse_lines(handle, numeric_labels=numeric_labels), merge=merge
+        )
+
+
+def write_uncertain_graph(graph: UncertainGraph, path: str | os.PathLike, *, header: str | None = None) -> None:
+    """Write ``graph`` to ``path`` in ``.uel`` format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes={graph.n_nodes} edges={graph.n_edges}\n")
+        for u, v, p in graph.edge_list():
+            handle.write(f"{u} {v} {p:.10g}\n")

@@ -1,0 +1,446 @@
+"""The :class:`UncertainGraph` data structure.
+
+An uncertain graph ``G = (V, E, p : E -> (0, 1])`` is stored in struct-of-
+arrays form: parallel numpy arrays of edge endpoints and probabilities,
+plus a lazily built CSR adjacency for traversals.  Nodes are dense
+integer indices ``0..n-1`` internally; arbitrary hashable labels are
+supported at the boundary and preserved by :meth:`subgraph`.
+
+The graphs are undirected and simple (no self loops, each edge stored
+once), matching the paper's setting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import GraphValidationError
+from repro.graph.components import connected_component_labels, largest_component_indices
+
+_MERGE_POLICIES = ("error", "max", "noisy-or", "first")
+
+
+def _canonical_endpoints(src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Orient every edge so that ``src < dst``."""
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    return lo, hi
+
+
+def _merge_duplicates(src, dst, prob, policy: str):
+    """Collapse duplicate undirected edges according to ``policy``."""
+    keys = src.astype(np.int64) * (int(dst.max()) + 1 if len(dst) else 1) + dst
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    src, dst, prob = src[order], dst[order], prob[order]
+    boundary = np.ones(len(keys), dtype=bool)
+    boundary[1:] = keys[1:] != keys[:-1]
+    if boundary.all():
+        return src, dst, prob
+    if policy == "error":
+        first_dup = int(np.flatnonzero(~boundary)[0])
+        raise GraphValidationError(
+            f"duplicate edge ({int(src[first_dup])}, {int(dst[first_dup])}); "
+            "pass merge='max', 'noisy-or' or 'first' to combine duplicates"
+        )
+    group_ids = np.cumsum(boundary) - 1
+    n_groups = int(group_ids[-1]) + 1
+    out_src = src[boundary]
+    out_dst = dst[boundary]
+    if policy == "max":
+        out_prob = np.full(n_groups, -np.inf)
+        np.maximum.at(out_prob, group_ids, prob)
+    elif policy == "noisy-or":
+        # 1 - prod(1 - p_i): probability at least one observation survives.
+        log_misses = np.zeros(n_groups)
+        np.add.at(log_misses, group_ids, np.log1p(-np.minimum(prob, 1.0 - 1e-15)))
+        out_prob = -np.expm1(log_misses)
+        # Exact 1.0 inputs should stay exactly 1.0.
+        ones = np.zeros(n_groups, dtype=bool)
+        np.logical_or.at(ones, group_ids, prob >= 1.0)
+        out_prob[ones] = 1.0
+    elif policy == "first":
+        out_prob = prob[boundary]
+    else:
+        raise GraphValidationError(f"unknown merge policy {policy!r}; expected one of {_MERGE_POLICIES}")
+    return out_src, out_dst, out_prob
+
+
+class UncertainGraph:
+    """An undirected uncertain graph with independent edge probabilities.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes (``0..n_nodes-1``).
+    src, dst:
+        Integer edge endpoint arrays, one entry per undirected edge.
+    prob:
+        Edge existence probabilities, each in ``(0, 1]``.
+    node_labels:
+        Optional sequence of hashable labels, one per node.  Defaults to
+        the integer indices.
+    validate:
+        Skip validation only when arrays are known-good (internal use).
+
+    Examples
+    --------
+    >>> g = UncertainGraph.from_edges([("a", "b", 0.9), ("b", "c", 0.5)])
+    >>> g.n_nodes, g.n_edges
+    (3, 2)
+    >>> g.neighbors(g.index_of("b")).tolist()
+    [0, 2]
+    """
+
+    __slots__ = (
+        "_n",
+        "_src",
+        "_dst",
+        "_prob",
+        "_labels",
+        "_label_index",
+        "_indptr",
+        "_adj_nodes",
+        "_adj_edges",
+    )
+
+    def __init__(
+        self,
+        n_nodes: int,
+        src,
+        dst,
+        prob,
+        node_labels: Sequence[Hashable] | None = None,
+        *,
+        validate: bool = True,
+    ):
+        src = np.ascontiguousarray(src, dtype=np.intp)
+        dst = np.ascontiguousarray(dst, dtype=np.intp)
+        prob = np.ascontiguousarray(prob, dtype=np.float64)
+        if validate:
+            self._validate(n_nodes, src, dst, prob, node_labels)
+        self._n = int(n_nodes)
+        self._src, self._dst = _canonical_endpoints(src, dst)
+        self._prob = prob
+        if node_labels is None:
+            self._labels = None
+            self._label_index = None
+        else:
+            self._labels = tuple(node_labels)
+            self._label_index = {label: i for i, label in enumerate(self._labels)}
+        self._indptr = None
+        self._adj_nodes = None
+        self._adj_edges = None
+
+    @staticmethod
+    def _validate(n_nodes, src, dst, prob, node_labels) -> None:
+        if n_nodes < 0:
+            raise GraphValidationError(f"n_nodes must be non-negative, got {n_nodes}")
+        if not (len(src) == len(dst) == len(prob)):
+            raise GraphValidationError(
+                f"edge arrays must have equal lengths, got {len(src)}, {len(dst)}, {len(prob)}"
+            )
+        if len(src) and (src.min() < 0 or dst.min() < 0 or max(src.max(), dst.max()) >= n_nodes):
+            raise GraphValidationError("edge endpoints must lie in [0, n_nodes)")
+        if np.any(src == dst):
+            loop = int(src[np.argmax(src == dst)])
+            raise GraphValidationError(f"self loop at node {loop}; uncertain graphs here are simple")
+        if len(prob) and (np.any(prob <= 0.0) or np.any(prob > 1.0) or not np.all(np.isfinite(prob))):
+            raise GraphValidationError("edge probabilities must lie in (0, 1]")
+        if node_labels is not None:
+            labels = list(node_labels)
+            if len(labels) != n_nodes:
+                raise GraphValidationError(
+                    f"expected {n_nodes} node labels, got {len(labels)}"
+                )
+            if len(set(labels)) != len(labels):
+                raise GraphValidationError("node labels must be unique")
+        lo, hi = _canonical_endpoints(src, dst)
+        if len(lo):
+            keys = lo.astype(np.int64) * n_nodes + hi
+            if len(np.unique(keys)) != len(keys):
+                raise GraphValidationError(
+                    "duplicate edges detected; use from_edges(..., merge=...) to combine them"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Hashable, Hashable, float]],
+        nodes: Iterable[Hashable] | None = None,
+        *,
+        merge: str = "error",
+    ) -> "UncertainGraph":
+        """Build a graph from ``(u, v, probability)`` triples.
+
+        Node labels are collected from ``nodes`` (if given) plus edge
+        endpoints, in first-seen order.  ``merge`` selects the duplicate
+        edge policy: ``"error"`` (default), ``"max"``, ``"noisy-or"`` or
+        ``"first"``.
+        """
+        if merge not in _MERGE_POLICIES:
+            raise GraphValidationError(f"unknown merge policy {merge!r}; expected one of {_MERGE_POLICIES}")
+        label_index: dict[Hashable, int] = {}
+        labels: list[Hashable] = []
+
+        def index_for(label):
+            idx = label_index.get(label)
+            if idx is None:
+                idx = len(labels)
+                label_index[label] = idx
+                labels.append(label)
+            return idx
+
+        if nodes is not None:
+            for label in nodes:
+                index_for(label)
+        src_list, dst_list, prob_list = [], [], []
+        for u, v, p in edges:
+            src_list.append(index_for(u))
+            dst_list.append(index_for(v))
+            prob_list.append(float(p))
+        src = np.asarray(src_list, dtype=np.intp)
+        dst = np.asarray(dst_list, dtype=np.intp)
+        prob = np.asarray(prob_list, dtype=np.float64)
+        if len(prob) and (np.any(prob <= 0.0) or np.any(prob > 1.0)):
+            raise GraphValidationError("edge probabilities must lie in (0, 1]")
+        if np.any(src == dst):
+            raise GraphValidationError("self loops are not allowed")
+        lo, hi = _canonical_endpoints(src, dst)
+        if len(lo):
+            lo, hi, prob = _merge_duplicates(lo, hi, prob, merge)
+        plain_labels = labels == list(range(len(labels)))
+        return cls(
+            len(labels),
+            lo,
+            hi,
+            prob,
+            node_labels=None if plain_labels else labels,
+            validate=True,
+        )
+
+    @classmethod
+    def from_networkx(cls, graph, prob_attr: str = "prob", *, default_prob: float | None = None, merge: str = "error") -> "UncertainGraph":
+        """Build from an (undirected) networkx graph.
+
+        Edge probabilities are read from edge attribute ``prob_attr``;
+        ``default_prob`` fills missing attributes (otherwise missing
+        attributes raise :class:`GraphValidationError`).
+        """
+        if graph.is_directed():
+            raise GraphValidationError("uncertain graphs are undirected; pass graph.to_undirected()")
+
+        def edge_iter():
+            for u, v, data in graph.edges(data=True):
+                p = data.get(prob_attr, default_prob)
+                if p is None:
+                    raise GraphValidationError(
+                        f"edge ({u!r}, {v!r}) is missing attribute {prob_attr!r} and no default_prob was given"
+                    )
+                yield u, v, float(p)
+
+        return cls.from_edges(edge_iter(), nodes=graph.nodes(), merge=merge)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        """Number of (undirected) edges."""
+        return len(self._prob)
+
+    @property
+    def edge_src(self) -> np.ndarray:
+        """Source endpoint of each edge (``src < dst``); read-only view."""
+        return self._src
+
+    @property
+    def edge_dst(self) -> np.ndarray:
+        """Destination endpoint of each edge; read-only view."""
+        return self._dst
+
+    @property
+    def edge_prob(self) -> np.ndarray:
+        """Existence probability of each edge; read-only view."""
+        return self._prob
+
+    @property
+    def node_labels(self) -> tuple:
+        """Node labels (defaults to ``0..n-1`` when none were provided)."""
+        if self._labels is None:
+            return tuple(range(self._n))
+        return self._labels
+
+    def index_of(self, label) -> int:
+        """Map a node label to its dense index."""
+        if self._label_index is None:
+            idx = int(label)
+            if not 0 <= idx < self._n:
+                raise KeyError(f"node index {label!r} out of range [0, {self._n})")
+            return idx
+        try:
+            return self._label_index[label]
+        except KeyError:
+            raise KeyError(f"unknown node label {label!r}") from None
+
+    def label_of(self, index: int):
+        """Map a dense index back to its label."""
+        if not 0 <= index < self._n:
+            raise IndexError(f"node index {index} out of range [0, {self._n})")
+        if self._labels is None:
+            return index
+        return self._labels[index]
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+
+    def _ensure_adjacency(self) -> None:
+        if self._indptr is not None:
+            return
+        n, m = self._n, self.n_edges
+        edge_ids = np.arange(m, dtype=np.intp)
+        ends = np.concatenate([self._src, self._dst])
+        others = np.concatenate([self._dst, self._src])
+        both_ids = np.concatenate([edge_ids, edge_ids])
+        order = np.argsort(ends, kind="stable")
+        counts = np.bincount(ends, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(counts, out=indptr[1:])
+        self._indptr = indptr
+        self._adj_nodes = others[order]
+        self._adj_edges = both_ids[order]
+
+    @property
+    def adjacency(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR adjacency as ``(indptr, neighbor_nodes, neighbor_edge_ids)``."""
+        self._ensure_adjacency()
+        return self._indptr, self._adj_nodes, self._adj_edges
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbor indices of ``node`` (order unspecified but stable)."""
+        indptr, adj_nodes, _ = self.adjacency
+        return adj_nodes[indptr[node]:indptr[node + 1]]
+
+    def incident_edges(self, node: int) -> np.ndarray:
+        """Edge ids incident to ``node``."""
+        indptr, _, adj_edges = self.adjacency
+        return adj_edges[indptr[node]:indptr[node + 1]]
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node."""
+        indptr, _, _ = self.adjacency
+        return np.diff(indptr)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether an edge between indices ``u`` and ``v`` exists."""
+        return self.edge_probability_between(u, v) is not None
+
+    def edge_probability_between(self, u: int, v: int) -> float | None:
+        """Probability of the edge ``(u, v)`` or ``None`` if absent."""
+        if u == v:
+            return None
+        neigh = self.neighbors(u)
+        hits = np.flatnonzero(neigh == v)
+        if len(hits) == 0:
+            return None
+        edge_id = self.incident_edges(u)[hits[0]]
+        return float(self._prob[edge_id])
+
+    # ------------------------------------------------------------------
+    # Derived graphs and global properties
+    # ------------------------------------------------------------------
+
+    def subgraph(self, node_indices) -> "UncertainGraph":
+        """Induced subgraph on ``node_indices`` (labels are preserved)."""
+        node_indices = np.asarray(node_indices, dtype=np.intp)
+        if len(np.unique(node_indices)) != len(node_indices):
+            raise GraphValidationError("subgraph node indices must be unique")
+        if len(node_indices) and (node_indices.min() < 0 or node_indices.max() >= self._n):
+            raise GraphValidationError("subgraph node indices out of range")
+        remap = np.full(self._n, -1, dtype=np.intp)
+        remap[node_indices] = np.arange(len(node_indices), dtype=np.intp)
+        keep = (remap[self._src] >= 0) & (remap[self._dst] >= 0)
+        labels = None
+        if self._labels is not None:
+            labels = [self._labels[i] for i in node_indices]
+        return UncertainGraph(
+            len(node_indices),
+            remap[self._src[keep]],
+            remap[self._dst[keep]],
+            self._prob[keep],
+            node_labels=labels,
+            validate=False,
+        )
+
+    def connected_components(self) -> np.ndarray:
+        """Component labels of the *deterministic* skeleton (all edges present)."""
+        return connected_component_labels(self._n, self._src, self._dst)
+
+    def largest_component(self) -> "UncertainGraph":
+        """Induced subgraph on the largest deterministic connected component."""
+        labels = self.connected_components()
+        return self.subgraph(largest_component_indices(labels))
+
+    def log_distance_weights(self) -> np.ndarray:
+        """Per-edge weights ``-ln p(e)`` (the paper's gmm baseline metric)."""
+        return -np.log(self._prob)
+
+    def most_unlikely_world_log_probability(self) -> float:
+        """``ln`` of the probability of the least likely possible world.
+
+        The paper uses this as a safe lower bound ``p_L`` for
+        ``p_opt_min(k)``:  every connection probability is at least the
+        probability of the single most unlikely world that realizes it.
+        Returned in log space because the value underflows for all but
+        toy graphs.
+        """
+        if self.n_edges == 0:
+            return 0.0
+        per_edge = np.minimum(self._prob, 1.0 - self._prob)
+        # Edges with p == 1 always exist: their "unlikely" branch has
+        # probability 0 but they are not uncertain edges, so they
+        # contribute factor 1 (their only outcome).
+        per_edge = np.where(self._prob >= 1.0, 1.0, per_edge)
+        return float(np.sum(np.log(per_edge)))
+
+    def expected_edge_count(self) -> float:
+        """Expected number of edges in a random possible world."""
+        return float(np.sum(self._prob))
+
+    def to_networkx(self, prob_attr: str = "prob"):
+        """Export to a :class:`networkx.Graph` with probability attributes."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        labels = self.node_labels
+        graph.add_nodes_from(labels)
+        for u, v, p in zip(self._src.tolist(), self._dst.tolist(), self._prob.tolist()):
+            graph.add_edge(labels[u], labels[v], **{prob_attr: p})
+        return graph
+
+    def edge_list(self) -> list[tuple]:
+        """Edges as ``(label_u, label_v, probability)`` triples."""
+        labels = self.node_labels
+        return [
+            (labels[u], labels[v], float(p))
+            for u, v, p in zip(self._src.tolist(), self._dst.tolist(), self._prob.tolist())
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainGraph(n_nodes={self._n}, n_edges={self.n_edges}, "
+            f"expected_edges={self.expected_edge_count():.1f})"
+        )

@@ -1,0 +1,22 @@
+"""Clustering quality metrics used in the paper's evaluation."""
+
+from repro.metrics.quality import (
+    avg_connection_probability,
+    avpr,
+    connection_to_centers,
+    inner_avpr,
+    min_connection_probability,
+    outer_avpr,
+)
+from repro.metrics.prediction import PairConfusion, pair_confusion
+
+__all__ = [
+    "min_connection_probability",
+    "avg_connection_probability",
+    "connection_to_centers",
+    "avpr",
+    "inner_avpr",
+    "outer_avpr",
+    "PairConfusion",
+    "pair_confusion",
+]

@@ -1,0 +1,135 @@
+"""Pair-level prediction metrics for the protein-complex task (Section 5.2).
+
+The paper evaluates clusterings as *predictors* of co-complex protein
+pairs: a pair of proteins placed in the same cluster is a positive
+prediction, which is *true* iff both appear together in some
+ground-truth complex.  Evaluation is restricted to proteins that appear
+in at least one ground-truth complex (the MIPS ∩ Krogan universe in the
+paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.clustering import UNCOVERED, Clustering
+from repro.exceptions import ClusteringError
+
+_MAX_DENSE_UNIVERSE = 20_000
+
+
+@dataclass(frozen=True)
+class PairConfusion:
+    """Confusion counts over node pairs, with TPR/FPR accessors."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def n_pairs(self) -> int:
+        return self.tp + self.fp + self.fn + self.tn
+
+    @property
+    def tpr(self) -> float:
+        """True positive rate (recall); ``nan`` if there are no positives."""
+        positives = self.tp + self.fn
+        return self.tp / positives if positives else float("nan")
+
+    @property
+    def fpr(self) -> float:
+        """False positive rate; ``nan`` if there are no negatives."""
+        negatives = self.fp + self.tn
+        return self.fp / negatives if negatives else float("nan")
+
+    @property
+    def precision(self) -> float:
+        predicted = self.tp + self.fp
+        return self.tp / predicted if predicted else float("nan")
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.tpr
+        if not np.isfinite(p) or not np.isfinite(r) or p + r == 0:
+            return float("nan")
+        return 2 * p * r / (p + r)
+
+
+def pair_confusion(
+    clustering: Clustering | np.ndarray,
+    complexes: Sequence[np.ndarray],
+    *,
+    n_nodes: int | None = None,
+) -> PairConfusion:
+    """Confusion matrix of co-cluster predictions against complexes.
+
+    Parameters
+    ----------
+    clustering:
+        A :class:`Clustering` or a raw assignment array (``-1`` =
+        uncovered; uncovered nodes are treated as singletons, so they
+        predict no pairs).
+    complexes:
+        Ground-truth complexes as arrays of node indices; complexes may
+        overlap.  Only nodes appearing in at least one complex form the
+        evaluation universe, as in the paper.
+    n_nodes:
+        Required when passing a raw assignment that might be shorter
+        than the graph (defensive check only).
+
+    Returns
+    -------
+    PairConfusion
+    """
+    if isinstance(clustering, Clustering):
+        assignment = clustering.assignment
+        n = clustering.n_nodes
+    else:
+        assignment = np.asarray(clustering)
+        n = n_nodes if n_nodes is not None else len(assignment)
+        if len(assignment) != n:
+            raise ClusteringError(
+                f"assignment has {len(assignment)} entries but n_nodes={n}"
+            )
+    if len(complexes) == 0:
+        raise ClusteringError("at least one ground-truth complex is required")
+
+    members = [np.asarray(c, dtype=np.intp) for c in complexes]
+    for c in members:
+        if len(c) and (c.min() < 0 or c.max() >= n):
+            raise ClusteringError("complex member index out of range")
+    universe = np.unique(np.concatenate(members))
+    s = len(universe)
+    if s < 2:
+        raise ClusteringError("the complex universe must contain at least two nodes")
+    if s > _MAX_DENSE_UNIVERSE:
+        raise ClusteringError(
+            f"universe of {s} nodes exceeds the dense limit {_MAX_DENSE_UNIVERSE}"
+        )
+
+    position = np.full(n, -1, dtype=np.intp)
+    position[universe] = np.arange(s)
+
+    # Predicted co-membership: same (covered) cluster.
+    local_assignment = assignment[universe].astype(np.int64)
+    uncovered = local_assignment == UNCOVERED
+    local_assignment[uncovered] = local_assignment.max() + 1 + np.arange(int(uncovered.sum()))
+    predicted = local_assignment[:, None] == local_assignment[None, :]
+
+    # True co-membership: together in >= 1 complex (complexes overlap,
+    # so use an indicator product rather than group counting).
+    truth = np.zeros((s, s), dtype=bool)
+    for c in members:
+        local = position[c]
+        truth[np.ix_(local, local)] = True
+
+    upper = np.triu(np.ones((s, s), dtype=bool), k=1)
+    tp = int(np.count_nonzero(predicted & truth & upper))
+    fp = int(np.count_nonzero(predicted & ~truth & upper))
+    fn = int(np.count_nonzero(~predicted & truth & upper))
+    tn = int(np.count_nonzero(~predicted & ~truth & upper))
+    return PairConfusion(tp=tp, fp=fp, fn=fn, tn=tn)

@@ -1,0 +1,23 @@
+"""Reliability query primitives on uncertain graphs.
+
+The clustering paper builds on a line of work about querying uncertain
+graphs by connection probability: k-nearest-neighbour queries under
+probabilistic distance (Potamias et al., reference [29]) and
+most-reliable-source problems (reference [13], a special case of MCP
+with ``k = 1``).  This package provides those primitives on top of the
+same oracles the clustering algorithms use.
+"""
+
+from repro.queries.reliability import (
+    k_nearest_by_reliability,
+    most_reliable_source,
+    reliability_histogram,
+    reliable_set,
+)
+
+__all__ = [
+    "k_nearest_by_reliability",
+    "most_reliable_source",
+    "reliable_set",
+    "reliability_histogram",
+]

@@ -1,0 +1,153 @@
+"""Connection-probability (reliability) queries.
+
+All functions take an oracle (Monte Carlo or exact) rather than a graph,
+so accuracy/cost tradeoffs stay under the caller's control, exactly as
+in the clustering algorithms.  Depth-limited variants are available
+everywhere through the ``depth`` keyword.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+
+
+def k_nearest_by_reliability(
+    oracle,
+    source: int,
+    k: int,
+    *,
+    depth: int | None = None,
+    include_disconnected: bool = False,
+) -> list[tuple[int, float]]:
+    """The ``k`` nodes most reliably connected to ``source``.
+
+    The uncertain-graph analogue of a k-NN query (Potamias et al.):
+    neighbours are ranked by (estimated) connection probability, the
+    source itself excluded.  Ties break toward smaller node index for
+    determinism.
+
+    Parameters
+    ----------
+    oracle:
+        Connection-probability oracle (must already hold samples).
+    source:
+        Query node index.
+    k:
+        Number of neighbours, ``1 <= k < n``.
+    depth:
+        Optional path-length limit.
+    include_disconnected:
+        Keep entries with probability 0 (default drops them, so fewer
+        than ``k`` results may be returned on fragmented graphs).
+
+    Returns
+    -------
+    list[(node, probability)]
+        Sorted by decreasing probability.
+    """
+    n = oracle.n_nodes
+    if not 1 <= k < n:
+        raise ClusteringError(f"k must satisfy 1 <= k < n ({n}), got {k}")
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range [0, {n})")
+    row = oracle.connection_to_all(source, depth=depth)
+    order = np.lexsort((np.arange(n), -row))
+    result: list[tuple[int, float]] = []
+    for node in order:
+        if node == source:
+            continue
+        p = float(row[node])
+        if p == 0.0 and not include_disconnected:
+            break
+        result.append((int(node), p))
+        if len(result) == k:
+            break
+    return result
+
+
+def most_reliable_source(
+    oracle,
+    candidates=None,
+    *,
+    targets=None,
+    depth: int | None = None,
+    aggregate: str = "min",
+) -> tuple[int, float]:
+    """The candidate best connected to the targets (reference [13]).
+
+    With ``aggregate="min"`` this is the 1-center version of MCP: the
+    node maximizing the minimum connection probability to every target.
+    ``aggregate="avg"`` gives the 1-median (ACP) version.
+
+    Parameters
+    ----------
+    oracle:
+        Connection-probability oracle.
+    candidates:
+        Candidate source nodes (default: all nodes).
+    targets:
+        Nodes that must be reached (default: all nodes).
+    depth:
+        Optional path-length limit.
+    aggregate:
+        ``"min"`` or ``"avg"``.
+
+    Returns
+    -------
+    (node, score)
+        The best candidate and its aggregate connection probability.
+    """
+    if aggregate not in ("min", "avg"):
+        raise ClusteringError(f"aggregate must be 'min' or 'avg', got {aggregate!r}")
+    n = oracle.n_nodes
+    candidates = np.arange(n) if candidates is None else np.asarray(candidates, dtype=np.intp)
+    targets = np.arange(n) if targets is None else np.asarray(targets, dtype=np.intp)
+    if len(candidates) == 0 or len(targets) == 0:
+        raise ClusteringError("candidates and targets must be non-empty")
+    best_node, best_score = int(candidates[0]), -1.0
+    for candidate in candidates:
+        row = oracle.connection_to_all(int(candidate), depth=depth)[targets]
+        score = float(row.min()) if aggregate == "min" else float(row.mean())
+        if score > best_score:
+            best_node, best_score = int(candidate), score
+    return best_node, best_score
+
+
+def reliable_set(
+    oracle,
+    source: int,
+    threshold: float,
+    *,
+    depth: int | None = None,
+) -> np.ndarray:
+    """Nodes connected to ``source`` with probability at least ``threshold``.
+
+    This is exactly the "disk" primitive inside ``min-partial``
+    (Algorithm 1); exposed because threshold reachability is a common
+    query in its own right (e.g. "which proteins interact with X with
+    probability >= 0.5?").  The source itself is included.
+    """
+    if not 0 < threshold <= 1:
+        raise ClusteringError(f"threshold must be in (0, 1], got {threshold}")
+    row = oracle.connection_to_all(source, depth=depth)
+    return np.flatnonzero(row >= threshold)
+
+
+def reliability_histogram(
+    oracle,
+    source: int,
+    *,
+    bins=10,
+    depth: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of connection probabilities from ``source`` to all others.
+
+    Useful for picking clustering thresholds: the histogram's gaps are
+    natural values of ``q``.  Returns ``(counts, bin_edges)`` as
+    :func:`numpy.histogram` does, over the ``n - 1`` other nodes.
+    """
+    row = oracle.connection_to_all(source, depth=depth)
+    others = np.delete(row, source)
+    return np.histogram(others, bins=bins, range=(0.0, 1.0))

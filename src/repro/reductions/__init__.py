@@ -1,0 +1,15 @@
+"""Complexity reductions from the paper's hardness results."""
+
+from repro.reductions.set_cover import (
+    SetCoverInstance,
+    greedy_set_cover,
+    has_set_cover_of_size,
+    set_cover_to_mcp,
+)
+
+__all__ = [
+    "SetCoverInstance",
+    "set_cover_to_mcp",
+    "greedy_set_cover",
+    "has_set_cover_of_size",
+]

@@ -1,0 +1,132 @@
+"""The Set Cover -> MCP reduction behind Theorem 2.
+
+The paper proves NP-hardness of the MCP decision problem by building,
+from a set cover instance ``(U, S, k)``, an uncertain graph whose nodes
+are ``U ∪ S``, with element-set edges for membership, a clique on the
+sets, and *every* edge probability equal to a tiny ``eps`` (``1/N!``
+with ``N = |U| + |S|`` in the paper).  Then a k-clustering with minimum
+connection probability ``>= eps`` exists iff a set cover of size ``k``
+exists: direct edges contribute ``eps`` while any multi-hop connection
+is ``O(N * eps^2) << eps``.
+
+``1/N!`` underflows immediately, but the argument only needs
+``N * eps^2 + N * N! * eps^3``-style path sums to stay strictly below
+``eps``; :func:`set_cover_to_mcp` therefore picks (or accepts) any
+sufficiently small representable ``eps`` and returns the decision
+threshold alongside the graph.
+
+Beyond the tests, this module doubles as a worked example that the
+clustering problem is genuinely hard even with an oracle — see
+``examples/hardness_reduction.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.exceptions import ReproError
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A set cover instance over universe ``0..universe_size-1``."""
+
+    universe_size: int
+    sets: tuple[frozenset[int], ...]
+
+    def __post_init__(self):
+        if self.universe_size < 1:
+            raise ReproError(f"universe_size must be positive, got {self.universe_size}")
+        object.__setattr__(self, "sets", tuple(frozenset(s) for s in self.sets))
+        for s in self.sets:
+            if any(not 0 <= e < self.universe_size for e in s):
+                raise ReproError(f"set {sorted(s)} contains elements outside the universe")
+
+    @property
+    def n_sets(self) -> int:
+        return len(self.sets)
+
+    def is_coverable(self) -> bool:
+        """Whether every element belongs to at least one set."""
+        covered = set()
+        for s in self.sets:
+            covered |= s
+        return len(covered) == self.universe_size
+
+
+def element_label(i: int) -> tuple[str, int]:
+    """Node label of universe element ``i`` in the reduction graph."""
+    return ("u", i)
+
+
+def set_label(j: int) -> tuple[str, int]:
+    """Node label of set ``j`` in the reduction graph."""
+    return ("s", j)
+
+
+def set_cover_to_mcp(
+    instance: SetCoverInstance,
+    *,
+    eps: float | None = None,
+) -> tuple[UncertainGraph, float]:
+    """Build the Theorem 2 reduction graph.
+
+    Returns ``(graph, threshold)``: the instance has a set cover of size
+    ``k`` iff the graph has a k-clustering with
+    ``min-prob >= threshold`` (= ``eps``).
+
+    ``eps`` defaults to a value small enough that the union bound over
+    the (fewer than ``N^N``) longer paths stays below ``eps``:
+    any ``eps <= N^{-(N+1)}`` works for the paper's argument; we clamp
+    at 1e-12 so exact oracles keep meaningful precision.
+    """
+    if not instance.is_coverable():
+        raise ReproError(
+            "every universe element must belong to some set "
+            "(uncoverable instances are trivially 'no')"
+        )
+    n_total = instance.universe_size + instance.n_sets
+    if eps is None:
+        eps = min(float(n_total) ** -(n_total + 1), 1e-12)
+        eps = max(eps, 1e-100)
+    if not 0 < eps < 1:
+        raise ReproError(f"eps must be in (0, 1), got {eps}")
+
+    edges = []
+    for j, members in enumerate(instance.sets):
+        for i in sorted(members):
+            edges.append((element_label(i), set_label(j), eps))
+    for j, l in combinations(range(instance.n_sets), 2):
+        edges.append((set_label(j), set_label(l), eps))
+    nodes = [element_label(i) for i in range(instance.universe_size)]
+    nodes += [set_label(j) for j in range(instance.n_sets)]
+    graph = UncertainGraph.from_edges(edges, nodes=nodes)
+    return graph, eps
+
+
+def has_set_cover_of_size(instance: SetCoverInstance, k: int) -> bool:
+    """Brute-force decision: does a cover with ``k`` sets exist?"""
+    if k >= instance.n_sets:
+        return instance.is_coverable()
+    universe = frozenset(range(instance.universe_size))
+    for chosen in combinations(instance.sets, k):
+        covered = frozenset().union(*chosen)
+        if covered == universe:
+            return True
+    return False
+
+
+def greedy_set_cover(instance: SetCoverInstance) -> list[int]:
+    """Classic ``ln n``-approximate greedy cover (indices into ``sets``)."""
+    uncovered = set(range(instance.universe_size))
+    chosen: list[int] = []
+    while uncovered:
+        best = max(range(instance.n_sets), key=lambda j: len(instance.sets[j] & uncovered))
+        gain = instance.sets[best] & uncovered
+        if not gain:
+            raise ReproError("instance is not coverable")
+        chosen.append(best)
+        uncovered -= gain
+    return chosen

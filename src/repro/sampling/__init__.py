@@ -1,0 +1,40 @@
+"""Possible-world sampling and connection-probability oracles."""
+
+from repro.sampling.worlds import (
+    sample_edge_masks,
+    world_component_labels,
+    world_block_csr,
+)
+from repro.sampling.oracle import MonteCarloOracle
+from repro.sampling.exact import ExactOracle, enumerate_worlds
+from repro.sampling.sizes import (
+    epsilon_delta_sample_size,
+    mcp_sample_size,
+    acp_sample_size,
+    PracticalSchedule,
+    TheoreticalMCPSchedule,
+    TheoreticalACPSchedule,
+)
+from repro.sampling.representative import (
+    average_degree_representative,
+    degree_discrepancy,
+    most_probable_world,
+)
+
+__all__ = [
+    "average_degree_representative",
+    "degree_discrepancy",
+    "most_probable_world",
+    "sample_edge_masks",
+    "world_component_labels",
+    "world_block_csr",
+    "MonteCarloOracle",
+    "ExactOracle",
+    "enumerate_worlds",
+    "epsilon_delta_sample_size",
+    "mcp_sample_size",
+    "acp_sample_size",
+    "PracticalSchedule",
+    "TheoreticalMCPSchedule",
+    "TheoreticalACPSchedule",
+]

@@ -1,0 +1,134 @@
+"""Sample-size formulas and progressive-sampling schedules (Section 4).
+
+The paper's algorithms lower a probability threshold ``q`` and, at each
+guess, need every relevant connection probability ``>= q`` estimated
+within relative error ``eps/2``.  The number of Monte Carlo samples
+required is given by Eq. (4) generally, and by Eq. (9) / Eq. (10) for
+the specific union bounds of the MCP / ACP implementations.
+
+Schedules are callables ``schedule(q) -> r`` handed to the clustering
+algorithms.  :class:`PracticalSchedule` reproduces the configuration the
+paper actually evaluates (Section 5): progressive sampling that starts
+from 50 samples, scales like ``1/q``, and clamps at a budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.math import harmonic_number
+
+
+def epsilon_delta_sample_size(p: float, eps: float, delta: float) -> int:
+    """Eq. (4): samples for an ``(eps, delta)``-approximation of ``p``.
+
+    ``r >= 3 ln(2/delta) / (eps^2 p)`` guarantees relative error at most
+    ``eps`` with probability at least ``1 - delta``.
+    """
+    if not 0 < p <= 1:
+        raise ValueError(f"p must be in (0, 1], got {p}")
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return int(math.ceil(3.0 * math.log(2.0 / delta) / (eps * eps * p)))
+
+
+def _schedule_length(gamma: float, p_lower: float, numerator: float = 1.0) -> int:
+    """``1 + floor(log_{1+gamma}(numerator / p_lower))`` guesses overall."""
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    if not 0 < p_lower <= 1:
+        raise ValueError(f"p_lower must be in (0, 1], got {p_lower}")
+    ratio = numerator / p_lower
+    if ratio < 1.0:
+        return 1
+    return 1 + int(math.floor(math.log(ratio) / math.log1p(gamma)))
+
+
+def mcp_sample_size(q: float, *, eps: float, gamma: float, n: int, p_lower: float) -> int:
+    """Eq. (9): per-guess sample size for the MCP implementation.
+
+    ``r = ceil( 12/(q eps^2) * ln(2 n^3 (1 + floor(log_{1+gamma} 1/p_L))) )``
+    """
+    if not 0 < q <= 1:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    guesses = _schedule_length(gamma, p_lower)
+    return int(math.ceil(12.0 / (q * eps * eps) * math.log(2.0 * n**3 * guesses)))
+
+
+def acp_sample_size(q: float, *, eps: float, gamma: float, n: int, p_lower: float) -> int:
+    """Eq. (10): per-guess sample size for the ACP implementation.
+
+    As Eq. (9) but probabilities down to ``q^3`` must be reliable and the
+    schedule length is ``1 + floor(log_{1+gamma}(H(n)/p_L))``.
+    """
+    if not 0 < q <= 1:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    guesses = _schedule_length(gamma, p_lower, numerator=harmonic_number(n))
+    return int(math.ceil(12.0 / (q**3 * eps * eps) * math.log(2.0 * n**3 * guesses)))
+
+
+@dataclass(frozen=True)
+class TheoreticalMCPSchedule:
+    """Sample schedule implementing Eq. (9) verbatim."""
+
+    eps: float
+    gamma: float
+    n: int
+    p_lower: float
+
+    def __call__(self, q: float) -> int:
+        return mcp_sample_size(q, eps=self.eps, gamma=self.gamma, n=self.n, p_lower=self.p_lower)
+
+
+@dataclass(frozen=True)
+class TheoreticalACPSchedule:
+    """Sample schedule implementing Eq. (10) verbatim."""
+
+    eps: float
+    gamma: float
+    n: int
+    p_lower: float
+
+    def __call__(self, q: float) -> int:
+        return acp_sample_size(q, eps=self.eps, gamma=self.gamma, n=self.n, p_lower=self.p_lower)
+
+
+@dataclass(frozen=True)
+class PracticalSchedule:
+    """The progressive schedule the paper's experiments use (Section 5).
+
+    Starts at ``min_samples`` (the paper verified 50 is accurate in
+    practice), grows like ``scale / q`` as the threshold drops, and is
+    clamped at ``max_samples`` to keep worst-case work bounded.
+    """
+
+    min_samples: int = 50
+    max_samples: int = 2000
+    scale: float = 50.0
+
+    def __post_init__(self):
+        if self.min_samples <= 0:
+            raise ValueError(f"min_samples must be positive, got {self.min_samples}")
+        if self.max_samples < self.min_samples:
+            raise ValueError(
+                f"max_samples ({self.max_samples}) must be >= min_samples ({self.min_samples})"
+            )
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    def __call__(self, q: float) -> int:
+        if not 0 < q <= 1:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        wanted = int(math.ceil(self.scale / q))
+        return max(self.min_samples, min(self.max_samples, wanted))

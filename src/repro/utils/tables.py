@@ -1,0 +1,87 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows/series the paper reports.
+This module renders them as aligned monospace tables (GitHub-flavoured
+markdown compatible) so reports diff cleanly and read well in terminals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def _format_cell(value, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+class TextTable:
+    """Accumulate rows and render them as an aligned markdown table.
+
+    >>> t = TextTable(["graph", "k", "pmin"])
+    >>> t.add_row(graph="collins", k=24, pmin=0.356)
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    | graph   | k  | pmin  |
+    |---------|----|-------|
+    | collins | 24 | 0.356 |
+    """
+
+    def __init__(self, columns: Sequence[str], *, float_format: str = ".3f", title: str | None = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in {columns!r}")
+        self.columns = list(columns)
+        self.float_format = float_format
+        self.title = title
+        self._rows: list[dict] = []
+
+    def add_row(self, _row: Mapping | None = None, **cells) -> None:
+        """Append one row, given as a mapping and/or keyword cells."""
+        row = dict(_row) if _row is not None else {}
+        row.update(cells)
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise ValueError(f"row has unknown columns {sorted(unknown)}; table has {self.columns}")
+        self._rows.append(row)
+
+    def extend(self, rows: Iterable[Mapping]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    @property
+    def rows(self) -> list[dict]:
+        """The accumulated rows (copies are not made; treat as read-only)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def render(self) -> str:
+        """Render the table as aligned markdown text."""
+        header = list(self.columns)
+        body = [
+            [_format_cell(row.get(col), self.float_format) for col in header]
+            for row in self._rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = []
+        if self.title:
+            lines.append(f"### {self.title}")
+            lines.append("")
+        lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(header, widths)) + " |")
+        lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        for r in body:
+            lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(r, widths)) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

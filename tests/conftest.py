@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import UncertainGraph
+from repro.sampling import ExactOracle
+
+
+@pytest.fixture
+def two_triangles() -> UncertainGraph:
+    """Two reliable triangles joined by a flaky bridge (6 nodes, 7 edges)."""
+    return UncertainGraph.from_edges(
+        [
+            (0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.8),
+            (3, 4, 0.85), (4, 5, 0.85), (3, 5, 0.75),
+            (2, 3, 0.05),
+        ]
+    )
+
+
+@pytest.fixture
+def two_triangles_oracle(two_triangles) -> ExactOracle:
+    return ExactOracle(two_triangles)
+
+
+@pytest.fixture
+def path4() -> UncertainGraph:
+    """Path 0-1-2-3 with probabilities 0.9, 0.5, 0.8."""
+    return UncertainGraph.from_edges([(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.8)])
+
+
+def random_graph(
+    n: int,
+    edge_fraction: float,
+    rng: np.random.Generator,
+    *,
+    prob_low: float = 0.1,
+    prob_high: float = 1.0,
+) -> UncertainGraph:
+    """Random uncertain graph helper used across tests.
+
+    ``edge_fraction`` of all possible pairs become edges (at least a
+    spanning path is NOT guaranteed — tests that need connectivity
+    should check it).
+    """
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    count = max(1, int(edge_fraction * len(pairs)))
+    chosen = rng.choice(len(pairs), size=min(count, len(pairs)), replace=False)
+    edges = [
+        (pairs[int(c)][0], pairs[int(c)][1], float(rng.uniform(prob_low, prob_high)))
+        for c in chosen
+    ]
+    return UncertainGraph.from_edges(edges, nodes=range(n))

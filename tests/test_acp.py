@@ -1,0 +1,153 @@
+"""Tests for the ACP clustering driver (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro import ClusteringError, UncertainGraph, acp_clustering
+from repro.core.bruteforce import optimal_avg_prob
+from repro.metrics import avg_connection_probability
+from repro.sampling import ExactOracle
+from repro.utils.math import harmonic_number
+from tests.conftest import random_graph
+
+
+class TestBasics:
+    def test_returns_full_clustering(self, two_triangles):
+        result = acp_clustering(two_triangles, k=2, seed=0)
+        assert result.clustering.covers_all
+
+    def test_invariant_avg_at_least_phi(self, two_triangles):
+        result = acp_clustering(two_triangles, k=2, seed=0)
+        assert result.avg_prob_estimate >= result.phi_best - 1e-12
+
+    def test_k_clusters(self, two_triangles):
+        for k in (1, 3, 5):
+            result = acp_clustering(two_triangles, k=k, seed=0)
+            assert result.clustering.k == k
+
+    def test_invalid_mode(self, two_triangles):
+        with pytest.raises(ClusteringError, match="mode"):
+            acp_clustering(two_triangles, k=2, mode="fast")
+
+    def test_both_modes_run(self, two_triangles_oracle):
+        practical = acp_clustering(None, 2, oracle=two_triangles_oracle, mode="practical")
+        theoretical = acp_clustering(None, 2, oracle=two_triangles_oracle, mode="theoretical")
+        assert practical.clustering.covers_all
+        assert theoretical.clustering.covers_all
+        assert practical.mode == "practical"
+        assert theoretical.mode == "theoretical"
+
+    def test_deterministic_with_seed(self, two_triangles):
+        a = acp_clustering(two_triangles, k=2, seed=4)
+        b = acp_clustering(two_triangles, k=2, seed=4)
+        assert np.array_equal(a.clustering.assignment, b.clustering.assignment)
+        assert a.phi_best == b.phi_best
+
+    def test_history_recorded(self, two_triangles):
+        result = acp_clustering(two_triangles, k=2, seed=0)
+        assert result.n_guesses >= 1
+
+    def test_separates_reliable_communities(self, two_triangles):
+        result = acp_clustering(two_triangles, k=2, seed=1)
+        assignment = result.clustering.assignment
+        assert len(set(assignment[:3].tolist())) == 1
+        assert len(set(assignment[3:].tolist())) == 1
+        assert assignment[0] != assignment[5]
+
+
+class TestStopCondition:
+    def test_loop_stops_when_threshold_below_phi(self, two_triangles_oracle):
+        # Once coverage_threshold(q) < phi_best, smaller guesses cannot win.
+        result = acp_clustering(None, 2, oracle=two_triangles_oracle, mode="practical")
+        final_qs = [record.q for record in result.history]
+        # The loop must not have descended to the very bottom of the schedule.
+        assert min(final_qs) > 1e-4
+
+    def test_phi_counts_uncovered_as_zero(self):
+        # One isolated low-probability node: phi at high q treats it as 0.
+        g = UncertainGraph.from_edges(
+            [(0, 1, 0.95), (1, 2, 0.95), (2, 3, 0.02)]
+        )
+        oracle = ExactOracle(g)
+        result = acp_clustering(None, 2, oracle=oracle)
+        # Completion must still cover node 3.
+        assert result.clustering.covers_all
+
+
+class TestGuarantee:
+    """Theorem 4: avg-prob >= (p_opt_avg(k) / ((1+gamma) H(n)))^3."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_theoretical_mode_bound(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        graph = random_graph(8, 0.4, rng, prob_low=0.25)
+        oracle = ExactOracle(graph)
+        gamma = 0.1
+        n = graph.n_nodes
+        for k in (2, 3):
+            p_opt, _ = optimal_avg_prob(oracle, k)
+            result = acp_clustering(
+                None, k, oracle=oracle, mode="theoretical", gamma=gamma, seed=seed
+            )
+            achieved = avg_connection_probability(result.clustering, oracle)
+            bound = (p_opt / ((1 + gamma) * harmonic_number(n))) ** 3
+            assert achieved >= bound - 1e-12
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_practical_mode_also_meets_bound(self, seed):
+        # Not guaranteed by the analysis, but the paper observes it holds
+        # comfortably in practice; a regression here signals a bug.
+        rng = np.random.default_rng(300 + seed)
+        graph = random_graph(8, 0.4, rng, prob_low=0.25)
+        oracle = ExactOracle(graph)
+        for k in (2,):
+            p_opt, _ = optimal_avg_prob(oracle, k)
+            result = acp_clustering(None, k, oracle=oracle, mode="practical", seed=seed)
+            achieved = avg_connection_probability(result.clustering, oracle)
+            bound = (p_opt / (1.1 * harmonic_number(graph.n_nodes))) ** 3
+            assert achieved >= bound - 1e-12
+
+
+class TestDepthLimited:
+    def test_depth_run_covers(self, two_triangles):
+        result = acp_clustering(two_triangles, k=2, seed=0, depth=3)
+        assert result.clustering.covers_all
+
+    def test_theoretical_depth_requires_d_at_least_3(self, two_triangles_oracle):
+        with pytest.raises(ClusteringError, match="depth >= 3"):
+            acp_clustering(
+                None, 2, oracle=two_triangles_oracle, mode="theoretical", depth=2
+            )
+
+    def test_theoretical_depth_inner_is_third(self, two_triangles_oracle):
+        result = acp_clustering(
+            None, 2, oracle=two_triangles_oracle, mode="theoretical", depth=6
+        )
+        assert result.clustering.covers_all
+
+    def test_depth_guarantee_theorem6(self):
+        rng = np.random.default_rng(55)
+        graph = random_graph(8, 0.45, rng, prob_low=0.35)
+        oracle = ExactOracle(graph)
+        d, k, gamma = 6, 2, 0.1
+        p_opt_third, _ = optimal_avg_prob(oracle, k, depth=d // 3)
+        result = acp_clustering(
+            None, k, oracle=oracle, mode="theoretical", depth=d, gamma=gamma, seed=0
+        )
+        achieved = avg_connection_probability(result.clustering, oracle, depth=d)
+        bound = (p_opt_third / ((1 + gamma) * harmonic_number(graph.n_nodes))) ** 3
+        assert achieved >= bound - 1e-12
+
+
+class TestMonteCarloIntegration:
+    def test_sampled_close_to_exact(self, two_triangles):
+        exact = ExactOracle(two_triangles)
+        sampled = acp_clustering(two_triangles, k=2, seed=5)
+        achieved = avg_connection_probability(sampled.clustering, exact)
+        reference_result = acp_clustering(None, 2, oracle=exact, seed=5)
+        reference = avg_connection_probability(reference_result.clustering, exact)
+        assert achieved >= reference * 0.8
+
+    def test_samples_recorded(self, two_triangles):
+        result = acp_clustering(two_triangles, k=2, seed=0)
+        assert result.samples_used > 0

@@ -1,0 +1,108 @@
+"""Tests for the guarantee-bound calculators, including cross-checks
+that the actual algorithms respect both the value floors and the
+iteration caps the theorems state."""
+
+import numpy as np
+import pytest
+
+from repro import ClusteringError, acp_clustering, mcp_clustering
+from repro.core.bounds import (
+    GuaranteeReport,
+    acp_guarantee,
+    acp_iteration_bound,
+    guarantee_report,
+    mcp_guarantee,
+    mcp_iteration_bound,
+)
+from repro.core.bruteforce import optimal_avg_prob, optimal_min_prob
+from repro.metrics import avg_connection_probability, min_connection_probability
+from repro.sampling import ExactOracle
+from repro.utils.math import harmonic_number
+from tests.conftest import random_graph
+
+
+class TestFormulas:
+    def test_mcp_guarantee_value(self):
+        assert mcp_guarantee(0.5, 0.1) == pytest.approx(0.25 / 1.1)
+
+    def test_mcp_guarantee_with_eps(self):
+        assert mcp_guarantee(0.5, 0.1, eps=0.3) == pytest.approx(0.7 * 0.25 / 1.1)
+
+    def test_acp_guarantee_value(self):
+        n = 100
+        expected = (0.5 / (1.1 * harmonic_number(n))) ** 3
+        assert acp_guarantee(0.5, 0.1, n) == pytest.approx(expected)
+
+    def test_guarantees_monotone_in_optimum(self):
+        assert mcp_guarantee(0.8, 0.1) > mcp_guarantee(0.4, 0.1)
+        assert acp_guarantee(0.8, 0.1, 50) > acp_guarantee(0.4, 0.1, 50)
+
+    def test_iteration_bounds_grow_as_optimum_shrinks(self):
+        assert mcp_iteration_bound(0.01, 0.1) > mcp_iteration_bound(0.5, 0.1)
+        assert acp_iteration_bound(0.01, 0.1, 50) > acp_iteration_bound(0.5, 0.1, 50)
+
+    def test_mcp_iteration_bound_certain_graph(self):
+        assert mcp_iteration_bound(1.0, 0.1) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ClusteringError):
+            mcp_guarantee(1.5, 0.1)
+        with pytest.raises(ClusteringError):
+            mcp_guarantee(0.5, 0.0)
+        with pytest.raises(ClusteringError):
+            acp_guarantee(0.5, 0.1, 0)
+        with pytest.raises(ClusteringError):
+            mcp_iteration_bound(0.0, 0.1)
+
+
+class TestReport:
+    def test_mcp_report(self):
+        report = guarantee_report("mcp", 0.5, gamma=0.1)
+        assert isinstance(report, GuaranteeReport)
+        assert report.promised_value == pytest.approx(mcp_guarantee(0.5, 0.1))
+        assert "min-partial" in report.render()
+
+    def test_acp_requires_n(self):
+        with pytest.raises(ClusteringError, match="node count"):
+            guarantee_report("acp", 0.5)
+
+    def test_unknown_objective(self):
+        with pytest.raises(ClusteringError):
+            guarantee_report("sum", 0.5)
+
+
+class TestAlgorithmsRespectBounds:
+    """End-to-end: value floors AND iteration caps hold on random graphs."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mcp_value_and_iterations(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        graph = random_graph(8, 0.4, rng, prob_low=0.3)
+        oracle = ExactOracle(graph)
+        gamma = 0.1
+        p_opt, _ = optimal_min_prob(oracle, 2)
+        if p_opt == 0.0:
+            pytest.skip("graph has more than 2 components")
+        result = mcp_clustering(
+            None, 2, oracle=oracle, gamma=gamma, seed=seed,
+            guess_schedule="geometric", refine=False, p_lower=1e-6,
+        )
+        achieved = min_connection_probability(result.clustering, oracle)
+        assert achieved >= mcp_guarantee(p_opt, gamma) - 1e-12
+        # Theorem 3's iteration cap applies to the geometric schedule.
+        assert result.n_guesses <= mcp_iteration_bound(p_opt, gamma)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_acp_value_and_iterations(self, seed):
+        rng = np.random.default_rng(500 + seed)
+        graph = random_graph(7, 0.45, rng, prob_low=0.3)
+        oracle = ExactOracle(graph)
+        gamma = 0.1
+        p_opt, _ = optimal_avg_prob(oracle, 2)
+        result = acp_clustering(
+            None, 2, oracle=oracle, gamma=gamma, seed=seed,
+            mode="theoretical", guess_schedule="geometric",
+        )
+        achieved = avg_connection_probability(result.clustering, oracle)
+        assert achieved >= acp_guarantee(p_opt, gamma, graph.n_nodes) - 1e-12
+        assert result.n_guesses <= acp_iteration_bound(p_opt, gamma, graph.n_nodes)

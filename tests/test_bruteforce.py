@@ -1,0 +1,93 @@
+"""Tests for brute-force optimal clusterings (the testing yardstick itself)."""
+
+import numpy as np
+import pytest
+
+from repro import ClusteringError, UncertainGraph
+from repro.core.bruteforce import optimal_avg_prob, optimal_clustering, optimal_min_prob
+from repro.sampling import ExactOracle
+
+
+@pytest.fixture
+def oracle(two_triangles):
+    return ExactOracle(two_triangles)
+
+
+class TestOptimalMinProb:
+    def test_k2_on_two_triangles(self, oracle):
+        value, centers = optimal_min_prob(oracle, 2)
+        # One center in each triangle is clearly optimal.
+        assert (centers[0] < 3) != (centers[1] < 3)
+        assert value > 0.8
+
+    def test_k1_uses_bridge(self, oracle):
+        value, _ = optimal_min_prob(oracle, 1)
+        # A single cluster must cross the 0.05 bridge.
+        assert value < 0.1
+
+    def test_value_decreasing_in_difficulty(self, oracle):
+        v1, _ = optimal_min_prob(oracle, 1)
+        v2, _ = optimal_min_prob(oracle, 2)
+        assert v2 >= v1
+
+    def test_zero_when_components_exceed_k(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.9), (2, 3, 0.9), (4, 5, 0.9)])
+        value, _ = optimal_min_prob(ExactOracle(g), 2)
+        assert value == 0.0
+
+    def test_depth_variant_no_larger(self, oracle):
+        free, _ = optimal_min_prob(oracle, 2)
+        limited, _ = optimal_min_prob(oracle, 2, depth=1)
+        assert limited <= free + 1e-12
+
+    def test_invalid_k(self, oracle):
+        with pytest.raises(ClusteringError):
+            optimal_min_prob(oracle, 0)
+        with pytest.raises(ClusteringError):
+            optimal_min_prob(oracle, 6)
+
+
+class TestOptimalAvgProb:
+    def test_avg_at_least_min(self, oracle):
+        for k in (1, 2, 3):
+            v_min, _ = optimal_min_prob(oracle, k)
+            v_avg, _ = optimal_avg_prob(oracle, k)
+            assert v_avg >= v_min - 1e-12
+
+    def test_avg_at_least_k_over_n(self, oracle):
+        # Centers contribute probability 1 each.
+        for k in (1, 2, 3):
+            v_avg, _ = optimal_avg_prob(oracle, k)
+            assert v_avg >= k / 6 - 1e-12
+
+    def test_monotone_in_k(self, oracle):
+        values = [optimal_avg_prob(oracle, k)[0] for k in (1, 2, 3, 4)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestOptimalClustering:
+    def test_min_objective_matches_value(self, oracle):
+        value, _ = optimal_min_prob(oracle, 2)
+        clustering = optimal_clustering(oracle, 2, objective="min")
+        assert clustering.min_prob() == pytest.approx(value)
+        assert clustering.covers_all
+
+    def test_avg_objective_matches_value(self, oracle):
+        value, _ = optimal_avg_prob(oracle, 2)
+        clustering = optimal_clustering(oracle, 2, objective="avg")
+        assert clustering.avg_prob() == pytest.approx(value)
+
+    def test_unknown_objective(self, oracle):
+        with pytest.raises(ClusteringError):
+            optimal_clustering(oracle, 2, objective="median")
+
+    def test_centers_assigned_to_self(self, oracle):
+        clustering = optimal_clustering(oracle, 3, objective="min")
+        assert np.array_equal(
+            clustering.assignment[clustering.centers], np.arange(3)
+        )
+
+    def test_too_large_enumeration_guarded(self):
+        g = UncertainGraph.from_edges([(i, i + 1, 0.9) for i in range(99)])
+        with pytest.raises(ClusteringError, match="brute force"):
+            optimal_min_prob(ExactOracle(g, max_uncertain_edges=200), 20)

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import UncertainGraph, write_uncertain_graph
+from repro.cli import main
+
+
+@pytest.fixture
+def graph_file(tmp_path, two_triangles):
+    path = tmp_path / "graph.uel"
+    write_uncertain_graph(two_triangles, path)
+    return str(path)
+
+
+class TestStats:
+    def test_prints_counts(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes            6" in out
+        assert "edges            7" in out
+        assert "largest CC" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent.uel"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestEstimate:
+    def test_estimates_probability(self, graph_file, capsys):
+        assert main(["estimate", graph_file, "0", "1", "--samples", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Pr(0 ~ 1)" in out
+        value = float(out.split("~=")[1].split()[0])
+        assert 0.8 <= value <= 1.0
+
+    def test_depth_flag(self, graph_file, capsys):
+        assert main(
+            ["estimate", graph_file, "0", "3", "--samples", "500", "--depth", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "paths <= 1" in out
+        value = float(out.split("~=")[1].split()[0])
+        assert value == 0.0  # not adjacent
+
+
+class TestCluster:
+    @pytest.mark.parametrize("algorithm", ["mcp", "acp", "gmm"])
+    def test_k_algorithms_write_tsv(self, graph_file, tmp_path, algorithm):
+        out_path = tmp_path / "clusters.tsv"
+        code = main(
+            [
+                "cluster", graph_file,
+                "--algorithm", algorithm,
+                "--k", "2",
+                "--samples", "300",
+                "-o", str(out_path),
+            ]
+        )
+        assert code == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert lines[0] == "node\tcluster\tcenter"
+        assert len(lines) == 7  # header + 6 nodes
+        clusters = {line.split("\t")[1] for line in lines[1:]}
+        assert len(clusters) == 2
+
+    @pytest.mark.parametrize("algorithm", ["mcl", "kpt"])
+    def test_granularity_free_algorithms(self, graph_file, tmp_path, algorithm):
+        out_path = tmp_path / "clusters.tsv"
+        code = main(["cluster", graph_file, "--algorithm", algorithm, "-o", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+
+    def test_stdout_default(self, graph_file, capsys):
+        assert main(["cluster", graph_file, "--k", "2", "--samples", "200"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("node\tcluster\tcenter")
+
+    def test_invalid_k_reports_error(self, graph_file, capsys):
+        assert main(["cluster", graph_file, "--k", "99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_generates_uel(self, tmp_path, capsys):
+        out_path = tmp_path / "krogan.uel"
+        code = main(
+            ["generate", "krogan", "--scale", "0.08", "--seed", "1", "-o", str(out_path)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "planted complexes" in err
+        from repro import read_uncertain_graph
+
+        graph = read_uncertain_graph(out_path, numeric_labels=True)
+        assert graph.n_nodes > 20
+
+    def test_roundtrip_through_cluster(self, tmp_path):
+        out_path = tmp_path / "g.uel"
+        assert main(["generate", "gavin", "--scale", "0.08", "-o", str(out_path)]) == 0
+        clusters = tmp_path / "c.tsv"
+        assert main(
+            ["cluster", str(out_path), "--k", "5", "--samples", "200", "-o", str(clusters)]
+        ) == 0
+        assert clusters.read_text().count("\n") > 20
+
+
+class TestMeta:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro 1.0.0" in capsys.readouterr().out
+
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])

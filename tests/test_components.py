@@ -1,0 +1,140 @@
+"""Tests for union-find and connected-component labelling."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import (
+    UnionFind,
+    connected_component_labels,
+    largest_component_indices,
+)
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(5)
+        assert uf.n_sets == 5
+        assert len(uf) == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.n_sets == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_sets == 2
+
+    def test_transitivity(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_labels_dense(self):
+        uf = UnionFind(5)
+        uf.union(0, 4)
+        uf.union(1, 3)
+        labels = uf.labels()
+        assert labels[0] == labels[4]
+        assert labels[1] == labels[3]
+        assert len(np.unique(labels)) == 3
+        assert labels.max() == 2  # dense relabelling
+
+    def test_set_sizes(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert sorted(uf.set_sizes().tolist()) == [1, 1, 3]
+
+    def test_union_edges_bulk(self):
+        uf = UnionFind(6)
+        uf.union_edges(np.array([0, 2, 4]), np.array([1, 3, 5]))
+        assert uf.n_sets == 3
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 19), st.integers(0, 19)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_networkx(self, edges):
+        uf = UnionFind(20)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(20))
+        for u, v in edges:
+            if u != v:
+                uf.union(u, v)
+                nx_graph.add_edge(u, v)
+        expected = {frozenset(c) for c in nx.connected_components(nx_graph)}
+        labels = uf.labels()
+        got = {
+            frozenset(np.flatnonzero(labels == value).tolist())
+            for value in np.unique(labels)
+        }
+        assert got == expected
+
+
+class TestComponentLabels:
+    def test_no_edges(self):
+        labels = connected_component_labels(4, np.array([]), np.array([]))
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+    def test_simple_components(self):
+        labels = connected_component_labels(5, np.array([0, 2]), np.array([1, 3]))
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_mask_selects_possible_world(self):
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 3])
+        mask = np.array([True, False, True])
+        labels = connected_component_labels(4, src, dst, mask=mask)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            connected_component_labels(3, np.array([0, 1]), np.array([1]))
+
+    def test_large_input_uses_scipy_path(self):
+        rng = np.random.default_rng(0)
+        n, m = 300, 5000
+        src = rng.integers(0, n, size=m)
+        dst = (src + 1 + rng.integers(0, n - 1, size=m)) % n
+        labels_scipy = connected_component_labels(n, src, dst)
+        uf = UnionFind(n)
+        uf.union_edges(src, dst)
+        labels_uf = uf.labels()
+        # Same partition (labels may be permuted).
+        mapping = {}
+        for a, b in zip(labels_scipy.tolist(), labels_uf.tolist()):
+            assert mapping.setdefault(a, b) == b
+
+
+class TestLargestComponent:
+    def test_picks_biggest(self):
+        labels = np.array([0, 0, 1, 1, 1, 2])
+        assert largest_component_indices(labels).tolist() == [2, 3, 4]
+
+    def test_tie_breaks_to_smallest_label(self):
+        labels = np.array([1, 1, 0, 0])
+        assert largest_component_indices(labels).tolist() == [2, 3]
+
+    def test_empty(self):
+        assert largest_component_indices(np.array([], dtype=np.int32)).size == 0

@@ -1,0 +1,77 @@
+"""Tests for the DBLP-like collaboration graph generator."""
+
+import numpy as np
+import pytest
+
+from repro import GraphValidationError
+from repro.datasets.collaboration import (
+    collaboration_probability,
+    dblp_like,
+    sample_collaboration_counts,
+)
+
+
+class TestProbabilityLaw:
+    def test_known_values(self):
+        # 1 - exp(-x/2): the paper quotes 0.39, 0.63, 0.91.
+        assert collaboration_probability(1) == pytest.approx(0.39, abs=0.01)
+        assert collaboration_probability(2) == pytest.approx(0.63, abs=0.01)
+        assert collaboration_probability(5) == pytest.approx(0.91, abs=0.01)
+
+    def test_vectorized(self):
+        values = collaboration_probability(np.array([1, 2, 5]))
+        assert values.shape == (3,)
+        assert np.all(np.diff(values) > 0)
+
+    def test_count_marginal(self):
+        rng = np.random.default_rng(0)
+        counts = sample_collaboration_counts(50_000, rng)
+        assert (counts == 1).mean() == pytest.approx(0.80, abs=0.02)
+        assert (counts == 2).mean() == pytest.approx(0.12, abs=0.02)
+        assert (counts >= 3).mean() == pytest.approx(0.08, abs=0.02)
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return dblp_like(3000, seed=1)
+
+    def test_largest_cc_connected(self, graph):
+        assert len(np.unique(graph.connected_components())) == 1
+
+    def test_edge_probability_distribution(self, graph):
+        prob = graph.edge_prob
+        p1 = collaboration_probability(1)
+        p2 = collaboration_probability(2)
+        frac1 = (np.abs(prob - p1) < 1e-9).mean()
+        frac2 = (np.abs(prob - p2) < 1e-9).mean()
+        assert frac1 == pytest.approx(0.80, abs=0.04)
+        assert frac2 == pytest.approx(0.12, abs=0.04)
+        assert (prob > p2 + 1e-9).mean() == pytest.approx(0.08, abs=0.04)
+
+    def test_heavy_tailed_degrees(self, graph):
+        degrees = graph.degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_deterministic(self):
+        a = dblp_like(1000, seed=3)
+        b = dblp_like(1000, seed=3)
+        assert a.n_nodes == b.n_nodes
+        assert np.array_equal(a.edge_prob, b.edge_prob)
+
+    def test_no_largest_cc_keeps_all_authors(self):
+        g = dblp_like(500, seed=2, largest_cc=False)
+        assert g.n_nodes == 500
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphValidationError):
+            dblp_like(5)
+        with pytest.raises(GraphValidationError):
+            dblp_like(100, papers_per_author=0)
+        with pytest.raises(GraphValidationError):
+            dblp_like(100, team_mean=0.5)
+
+    def test_preferential_attachment_fattens_tail(self):
+        uniform = dblp_like(1500, seed=4, preferential_weight=0.0)
+        preferential = dblp_like(1500, seed=4, preferential_weight=2.0)
+        assert preferential.degrees().max() > uniform.degrees().max()

@@ -1,0 +1,112 @@
+"""Tests for the PPI-like dataset generators (paper Table 1 profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ppi import collins_like, gavin_like, krogan_like
+
+
+@pytest.fixture(scope="module")
+def krogan_small():
+    return krogan_like(seed=7, scale=0.25)
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "generator,n_target,m_target",
+        [(collins_like, 1004, 8323), (gavin_like, 1727, 7534), (krogan_like, 2559, 7031)],
+    )
+    def test_scaled_sizes_close_to_targets(self, generator, n_target, m_target):
+        scale = 0.2
+        dataset = generator(seed=0, scale=scale)
+        # Largest-CC restriction trims some nodes; stay within a band.
+        assert dataset.graph.n_nodes <= n_target * scale + 1
+        assert dataset.graph.n_nodes >= 0.5 * n_target * scale
+        assert dataset.graph.n_edges <= m_target * scale + 1
+        assert dataset.graph.n_edges >= 0.5 * m_target * scale
+
+    def test_graph_is_connected(self, krogan_small):
+        labels = krogan_small.graph.connected_components()
+        assert len(np.unique(labels)) == 1
+
+    def test_invalid_scale(self):
+        with pytest.raises(Exception):
+            krogan_like(scale=0.0)
+        with pytest.raises(Exception):
+            krogan_like(scale=2.0)
+
+    def test_deterministic(self):
+        a = krogan_like(seed=5, scale=0.1)
+        b = krogan_like(seed=5, scale=0.1)
+        assert np.array_equal(a.graph.edge_prob, b.graph.edge_prob)
+        assert len(a.complexes) == len(b.complexes)
+
+
+class TestProbabilityProfiles:
+    def test_collins_mostly_high(self):
+        dataset = collins_like(seed=1, scale=0.2)
+        assert np.median(dataset.graph.edge_prob) > 0.6
+
+    def test_gavin_mostly_low(self):
+        dataset = gavin_like(seed=1, scale=0.2)
+        assert np.median(dataset.graph.edge_prob) < 0.45
+
+    def test_krogan_bimodal(self):
+        dataset = krogan_like(seed=1, scale=0.5)
+        prob = dataset.graph.edge_prob
+        high = (prob > 0.9).mean()
+        assert 0.15 <= high <= 0.35  # paper: one fourth above 0.9
+        rest = prob[prob <= 0.9]
+        assert rest.min() >= 0.27 - 1e-9
+
+    def test_profiles_are_ordered(self):
+        c = collins_like(seed=2, scale=0.15).graph.edge_prob.mean()
+        g = gavin_like(seed=2, scale=0.15).graph.edge_prob.mean()
+        assert c > g + 0.2
+
+
+class TestComplexes:
+    def test_complex_indices_valid(self, krogan_small):
+        n = krogan_small.graph.n_nodes
+        for complex_members in krogan_small.complexes:
+            assert complex_members.min() >= 0
+            assert complex_members.max() < n
+            assert len(complex_members) >= 2
+            assert len(np.unique(complex_members)) == len(complex_members)
+
+    def test_complexes_cover_reasonable_fraction(self, krogan_small):
+        covered = krogan_small.n_complex_proteins
+        assert covered >= 0.3 * krogan_small.graph.n_nodes
+
+    def test_complexes_are_denser_than_background(self, krogan_small):
+        graph = krogan_small.graph
+        in_complex = np.zeros(graph.n_nodes, dtype=bool)
+        for members in krogan_small.complexes:
+            in_complex[members] = True
+        member_of = {}
+        for idx, members in enumerate(krogan_small.complexes):
+            for node in members:
+                member_of[int(node)] = idx
+        intra = sum(
+            1
+            for u, v in zip(graph.edge_src, graph.edge_dst)
+            if member_of.get(int(u)) is not None
+            and member_of.get(int(u)) == member_of.get(int(v))
+        )
+        # A meaningful ground truth needs a solid fraction of intra edges
+        # (the Krogan edge budget m/n ~ 2.7 caps how dense complexes can be).
+        assert intra / graph.n_edges > 0.25
+
+    def test_intra_complex_edges_more_reliable(self, krogan_small):
+        graph = krogan_small.graph
+        member_of = {}
+        for idx, members in enumerate(krogan_small.complexes):
+            for node in members:
+                member_of[int(node)] = idx
+        intra_probs, cross_probs = [], []
+        for u, v, p in zip(graph.edge_src, graph.edge_dst, graph.edge_prob):
+            if member_of.get(int(u)) is not None and member_of.get(int(u)) == member_of.get(int(v)):
+                intra_probs.append(p)
+            else:
+                cross_probs.append(p)
+        assert np.mean(intra_probs) > np.mean(cross_probs)

@@ -1,0 +1,116 @@
+"""Tests for the exact world-enumeration oracle."""
+
+import numpy as np
+import pytest
+
+from repro import OracleError, UncertainGraph
+from repro.sampling import ExactOracle, enumerate_worlds
+
+
+class TestEnumerateWorlds:
+    def test_probabilities_sum_to_one(self, path4):
+        total = sum(p for _, p in enumerate_worlds(path4))
+        assert total == pytest.approx(1.0)
+
+    def test_world_count(self, path4):
+        worlds = list(enumerate_worlds(path4))
+        assert len(worlds) == 2**3
+
+    def test_certain_edges_not_enumerated(self):
+        g = UncertainGraph.from_edges([(0, 1, 1.0), (1, 2, 0.5)])
+        worlds = list(enumerate_worlds(g))
+        assert len(worlds) == 2
+        for mask, _ in worlds:
+            assert mask[0]  # the certain edge is always present
+
+    def test_too_many_edges_rejected(self):
+        edges = [(i, i + 1, 0.5) for i in range(30)]
+        g = UncertainGraph.from_edges(edges)
+        with pytest.raises(OracleError, match="uncertain edges"):
+            list(enumerate_worlds(g))
+
+
+class TestExactConnection:
+    def test_single_edge(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.37)])
+        oracle = ExactOracle(g)
+        assert oracle.connection(0, 1) == pytest.approx(0.37)
+
+    def test_two_edge_path(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.5), (1, 2, 0.4)])
+        oracle = ExactOracle(g)
+        assert oracle.connection(0, 2) == pytest.approx(0.2)
+
+    def test_triangle_inclusion_exclusion(self):
+        # Pr(0 ~ 1) for triangle with probs p01, p02, p12:
+        # p01 + (1 - p01) * p02 * p12
+        p01, p02, p12 = 0.3, 0.6, 0.7
+        g = UncertainGraph.from_edges([(0, 1, p01), (0, 2, p02), (1, 2, p12)])
+        oracle = ExactOracle(g)
+        expected = p01 + (1 - p01) * p02 * p12
+        assert oracle.connection(0, 1) == pytest.approx(expected)
+
+    def test_disconnected_pair(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.5)], nodes=range(3))
+        oracle = ExactOracle(g)
+        assert oracle.connection(0, 2) == 0.0
+
+    def test_self_connection(self, two_triangles_oracle):
+        assert two_triangles_oracle.connection(2, 2) == 1.0
+
+    def test_symmetry(self, two_triangles_oracle):
+        assert two_triangles_oracle.connection(0, 4) == pytest.approx(
+            two_triangles_oracle.connection(4, 0)
+        )
+
+    def test_connection_to_all_matches_matrix(self, two_triangles_oracle):
+        row = two_triangles_oracle.connection_to_all(2)
+        matrix = two_triangles_oracle.pairwise_matrix()
+        assert np.allclose(row, matrix[2])
+
+    def test_pairwise_subset(self, two_triangles_oracle):
+        nodes = [0, 3, 5]
+        sub = two_triangles_oracle.pairwise_matrix(nodes)
+        full = two_triangles_oracle.pairwise_matrix()
+        assert np.allclose(sub, full[np.ix_(nodes, nodes)])
+
+
+class TestExactDepthLimited:
+    def test_depth_one_is_direct_edge(self, path4):
+        oracle = ExactOracle(path4)
+        assert oracle.connection(0, 1, depth=1) == pytest.approx(0.9)
+        assert oracle.connection(0, 2, depth=1) == 0.0
+
+    def test_depth_two_path(self, path4):
+        oracle = ExactOracle(path4)
+        assert oracle.connection(0, 2, depth=2) == pytest.approx(0.9 * 0.5)
+
+    def test_depth_monotone(self, two_triangles_oracle):
+        values = [
+            two_triangles_oracle.connection(0, 5, depth=d) for d in (1, 2, 3, 4)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] <= two_triangles_oracle.connection(0, 5) + 1e-12
+
+    def test_depth_at_least_diameter_equals_unbounded(self, path4):
+        oracle = ExactOracle(path4)
+        assert oracle.connection(0, 3, depth=3) == pytest.approx(oracle.connection(0, 3))
+
+    def test_triangle_depth_one_vs_two(self):
+        p01, p02, p12 = 0.3, 0.6, 0.7
+        g = UncertainGraph.from_edges([(0, 1, p01), (0, 2, p02), (1, 2, p12)])
+        oracle = ExactOracle(g)
+        assert oracle.connection(0, 1, depth=1) == pytest.approx(p01)
+        expected = p01 + (1 - p01) * p02 * p12
+        assert oracle.connection(0, 1, depth=2) == pytest.approx(expected)
+
+
+class TestOracleProtocol:
+    def test_ensure_samples_noop(self, two_triangles_oracle):
+        two_triangles_oracle.ensure_samples(10**9)  # must not raise
+
+    def test_num_samples_is_huge(self, two_triangles_oracle):
+        assert two_triangles_oracle.num_samples > 10**15
+
+    def test_repr(self, two_triangles_oracle):
+        assert "ExactOracle" in repr(two_triangles_oracle)

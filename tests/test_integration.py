@@ -1,0 +1,143 @@
+"""Cross-module integration tests: full pipelines a downstream user runs."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MonteCarloOracle,
+    UncertainGraph,
+    acp_clustering,
+    mcp_clustering,
+    read_uncertain_graph,
+    write_uncertain_graph,
+)
+from repro.baselines import kpt_clustering, mcl_clustering
+from repro.datasets import gavin_like, krogan_like
+from repro.metrics import (
+    avg_connection_probability,
+    avpr,
+    min_connection_probability,
+    pair_confusion,
+)
+from repro.queries import k_nearest_by_reliability, most_reliable_source
+from repro.sampling import PracticalSchedule
+
+
+class TestFileToMetricsPipeline:
+    def test_roundtrip_then_cluster_then_score(self, tmp_path):
+        dataset = gavin_like(seed=4, scale=0.1)
+        path = tmp_path / "gavin.uel"
+        write_uncertain_graph(dataset.graph, path)
+        graph = read_uncertain_graph(path, numeric_labels=True)
+        assert graph.n_nodes == dataset.graph.n_nodes
+
+        result = mcp_clustering(
+            graph, k=8, seed=1, sample_schedule=PracticalSchedule(max_samples=300)
+        )
+        oracle = MonteCarloOracle(graph, seed=2)
+        oracle.ensure_samples(300)
+        pmin = min_connection_probability(result.clustering, oracle)
+        pavg = avg_connection_probability(result.clustering, oracle)
+        inner, outer = avpr(result.clustering, oracle)
+        assert 0.0 <= pmin <= pavg <= 1.0
+        assert inner > outer  # clustering beats random splits on this graph
+
+
+class TestPredictionPipeline:
+    def test_depth_limited_complex_prediction(self):
+        dataset = krogan_like(seed=11, scale=0.1)
+        k = max(2, round(0.21 * dataset.graph.n_nodes))
+        result = mcp_clustering(
+            dataset.graph, k, depth=2, seed=0,
+            sample_schedule=PracticalSchedule(max_samples=150),
+        )
+        confusion = pair_confusion(result.clustering, dataset.complexes)
+        baseline = pair_confusion(
+            kpt_clustering(dataset.graph, seed=0), dataset.complexes
+        )
+        assert confusion.tpr > baseline.tpr
+        assert confusion.fpr < 0.2
+
+
+class TestSharedOracle:
+    def test_one_oracle_many_algorithms(self, two_triangles):
+        # The progressive pool is reusable across runs; later runs must
+        # not invalidate earlier estimates.
+        oracle = MonteCarloOracle(two_triangles, seed=5)
+        mcp = mcp_clustering(None, 2, oracle=oracle, seed=0)
+        samples_after_mcp = oracle.num_samples
+        acp = acp_clustering(None, 2, oracle=oracle, seed=0)
+        assert oracle.num_samples >= samples_after_mcp
+        assert mcp.clustering.covers_all
+        assert acp.clustering.covers_all
+        # Queries work against the same pool.
+        top = k_nearest_by_reliability(oracle, 0, 2)
+        assert {node for node, _ in top} == {1, 2}
+
+    def test_queries_consistent_with_clustering(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=6)
+        oracle.ensure_samples(2000)
+        result = mcp_clustering(None, 2, oracle=oracle, seed=1)
+        # The most reliable source of each cluster should sit in it.
+        for cluster_id, members in enumerate(result.clustering.clusters()):
+            hub, _ = most_reliable_source(oracle, candidates=members, targets=members)
+            assert hub in members.tolist()
+
+
+class TestDeterminismAcrossPipeline:
+    def test_same_seed_same_everything(self):
+        def run():
+            dataset = gavin_like(seed=9, scale=0.1)
+            result = mcp_clustering(
+                dataset.graph, 6, seed=3,
+                sample_schedule=PracticalSchedule(max_samples=200),
+            )
+            oracle = MonteCarloOracle(dataset.graph, seed=4)
+            oracle.ensure_samples(200)
+            return (
+                result.clustering.assignment.copy(),
+                min_connection_probability(result.clustering, oracle),
+            )
+
+        (a_assign, a_pmin) = run()
+        (b_assign, b_pmin) = run()
+        assert np.array_equal(a_assign, b_assign)
+        assert a_pmin == b_pmin
+
+
+class TestAgainstNetworkxReference:
+    def test_connection_probability_via_networkx_sampling(self, two_triangles):
+        # Independent reference: sample worlds with networkx machinery
+        # and compare the estimate to our oracle.
+        import networkx as nx
+
+        rng = np.random.default_rng(0)
+        nx_graph = two_triangles.to_networkx()
+        edges = list(nx_graph.edges(data="prob"))
+        hits = 0
+        trials = 2000
+        for _ in range(trials):
+            world = nx.Graph()
+            world.add_nodes_from(nx_graph.nodes())
+            for u, v, p in edges:
+                if rng.random() < p:
+                    world.add_edge(u, v)
+            if nx.has_path(world, 0, 2):
+                hits += 1
+        reference = hits / trials
+        oracle = MonteCarloOracle(two_triangles, seed=1)
+        oracle.ensure_samples(4000)
+        assert oracle.connection(0, 2) == pytest.approx(reference, abs=0.05)
+
+
+class TestMCLGranularityProtocol:
+    def test_inflation_drives_k_for_other_algorithms(self):
+        # The paper's experiment protocol end to end on one small graph.
+        dataset = gavin_like(seed=2, scale=0.1)
+        mcl = mcl_clustering(dataset.graph, inflation=2.0)
+        k = mcl.n_clusters
+        assert 1 <= k < dataset.graph.n_nodes
+        result = mcp_clustering(
+            dataset.graph, k, seed=0, sample_schedule=PracticalSchedule(max_samples=150)
+        )
+        assert result.clustering.k == k

@@ -1,0 +1,68 @@
+"""Tests for .uel edge-list reading and writing."""
+
+import pytest
+
+from repro import GraphValidationError, read_uncertain_graph, write_uncertain_graph
+from repro.graph.uncertain_graph import UncertainGraph
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_graph(self, tmp_path, two_triangles):
+        path = tmp_path / "graph.uel"
+        write_uncertain_graph(two_triangles, path)
+        back = read_uncertain_graph(path, numeric_labels=True)
+        assert back.n_nodes == two_triangles.n_nodes
+        assert back.n_edges == two_triangles.n_edges
+        for u, v, p in two_triangles.edge_list():
+            assert back.edge_probability_between(
+                back.index_of(u), back.index_of(v)
+            ) == pytest.approx(p)
+
+    def test_roundtrip_string_labels(self, tmp_path):
+        g = UncertainGraph.from_edges([("alice", "bob", 0.25)])
+        path = tmp_path / "named.uel"
+        write_uncertain_graph(g, path)
+        back = read_uncertain_graph(path)
+        assert set(back.node_labels) == {"alice", "bob"}
+
+    def test_header_comment_written(self, tmp_path, path4):
+        path = tmp_path / "g.uel"
+        write_uncertain_graph(path4, path, header="my dataset\nsecond line")
+        text = path.read_text()
+        assert text.startswith("# my dataset\n# second line\n")
+        assert "# nodes=4 edges=3" in text
+
+
+class TestReading:
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.uel"
+        path.write_text("# comment\n\n0 1 0.5\n\n# another\n1 2 0.75\n")
+        g = read_uncertain_graph(path, numeric_labels=True)
+        assert g.n_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.uel"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphValidationError, match="line 1"):
+            read_uncertain_graph(path)
+
+    def test_bad_probability_raises(self, tmp_path):
+        path = tmp_path / "bad.uel"
+        path.write_text("0 1 high\n")
+        with pytest.raises(GraphValidationError, match="not a number"):
+            read_uncertain_graph(path)
+
+    def test_numeric_labels_rejects_strings(self, tmp_path):
+        path = tmp_path / "bad.uel"
+        path.write_text("a b 0.5\n")
+        with pytest.raises(GraphValidationError, match="not an integer"):
+            read_uncertain_graph(path, numeric_labels=True)
+
+    def test_duplicate_edges_with_merge(self, tmp_path):
+        path = tmp_path / "dup.uel"
+        path.write_text("0 1 0.5\n1 0 0.9\n")
+        with pytest.raises(GraphValidationError):
+            read_uncertain_graph(path, numeric_labels=True)
+        g = read_uncertain_graph(path, numeric_labels=True, merge="max")
+        assert g.n_edges == 1
+        assert g.edge_prob[0] == pytest.approx(0.9)

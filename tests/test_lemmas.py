@@ -1,0 +1,110 @@
+"""Brute-force verification of the paper's supporting lemmas.
+
+These lemmas carry the ACP analysis; they are statements about *all*
+partial clusterings, so we verify them exhaustively on tiny instances
+where ``t_q`` (the minimum number of uncovered nodes over all partial
+k-clusterings with min-prob >= q) can be computed by enumeration.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro import min_partial
+from repro.core.bruteforce import optimal_avg_prob
+from repro.sampling import ExactOracle
+from repro.utils.math import harmonic_number
+from tests.conftest import random_graph
+
+
+def brute_force_t_q(matrix: np.ndarray, k: int, q: float) -> int:
+    """``t_q``: fewest uncovered nodes over all partial k-clusterings.
+
+    For fixed centers, the best partial clustering covers exactly the
+    nodes within probability ``q`` of some center, so minimizing
+    uncovered nodes = maximizing threshold coverage over center sets.
+    """
+    n = matrix.shape[0]
+    best_covered = 0
+    for centers in combinations(range(n), k):
+        covered = int(np.count_nonzero(matrix[list(centers)].max(axis=0) >= q))
+        best_covered = max(best_covered, covered)
+    return n - best_covered
+
+
+@pytest.fixture(scope="module", params=range(4))
+def small_instance(request):
+    rng = np.random.default_rng(600 + request.param)
+    graph = random_graph(8, 0.35, rng, prob_low=0.2)
+    oracle = ExactOracle(graph)
+    return graph, oracle, oracle.pairwise_matrix()
+
+
+class TestTqProperties:
+    def test_t_q_non_decreasing_in_q(self, small_instance):
+        _, _, matrix = small_instance
+        values = [brute_force_t_q(matrix, 2, q) for q in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+
+    def test_t_q_non_increasing_in_k(self, small_instance):
+        _, _, matrix = small_instance
+        values = [brute_force_t_q(matrix, k, 0.5) for k in (1, 2, 3)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestLemma3:
+    """There exists q with q (n - t_q) / n >= p_opt_avg(k) / H(n)."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_witness_threshold_exists(self, small_instance, k):
+        graph, oracle, matrix = small_instance
+        n = graph.n_nodes
+        p_opt, _ = optimal_avg_prob(oracle, k)
+        target = p_opt / harmonic_number(n)
+        # The proof's witnesses are the sorted optimal connection
+        # probabilities p_i; checking a fine grid of candidate q values
+        # (plus the matrix entries themselves) is strictly stronger.
+        candidates = sorted(set(matrix.ravel().tolist()) | {0.01, 0.99}) or [0.5]
+        best = max(
+            q * (n - brute_force_t_q(matrix, k, q)) / n
+            for q in candidates
+            if q > 0
+        )
+        assert best >= target - 1e-9
+
+
+class TestLemma4:
+    """min-partial(G, k, q^3, n, q) leaves at most t_q nodes uncovered."""
+
+    @pytest.mark.parametrize("q", [0.3, 0.5, 0.7, 0.9])
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_uncovered_at_most_t_q(self, small_instance, k, q):
+        graph, oracle, matrix = small_instance
+        t_q = brute_force_t_q(matrix, k, q)
+        result = min_partial(
+            oracle, k=k, q=q**3, alpha=graph.n_nodes, q_bar=q, rng=0
+        )
+        uncovered = graph.n_nodes - result.clustering.n_covered
+        assert uncovered <= t_q
+
+    def test_charikar_charging_bound_is_tight_enough(self, small_instance):
+        # Sanity: with q so low everything is coverable, t_q = 0 and the
+        # partial clustering must be full.
+        graph, oracle, matrix = small_instance
+        q = max(1e-3, float(matrix.min()) * 0.9)
+        if brute_force_t_q(matrix, 2, q) == 0:
+            result = min_partial(oracle, k=2, q=q**3, alpha=graph.n_nodes, q_bar=q, rng=0)
+            assert result.covers_all
+
+
+class TestLemma5Analogue:
+    """Depth-limited t_{q,d} behaves like t_q (monotone in d)."""
+
+    def test_depth_coverage_monotone(self, small_instance):
+        graph, oracle, _ = small_instance
+        for d_small, d_large in ((1, 2), (2, 4)):
+            m_small = oracle.pairwise_matrix(depth=d_small)
+            m_large = oracle.pairwise_matrix(depth=d_large)
+            for q in (0.3, 0.6):
+                assert brute_force_t_q(m_large, 2, q) <= brute_force_t_q(m_small, 2, q)

@@ -1,0 +1,177 @@
+"""Tests for the MCP clustering driver (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro import ClusteringError, MonteCarloOracle, UncertainGraph, mcp_clustering
+from repro.core.bruteforce import optimal_min_prob
+from repro.metrics import min_connection_probability
+from repro.sampling import ExactOracle
+from tests.conftest import random_graph
+
+
+class TestBasics:
+    def test_returns_full_clustering(self, two_triangles):
+        result = mcp_clustering(two_triangles, k=2, seed=0)
+        assert result.clustering.covers_all
+        assert result.covers_all
+
+    def test_k_clusters(self, two_triangles):
+        for k in (1, 2, 4):
+            result = mcp_clustering(two_triangles, k=k, seed=0)
+            assert result.clustering.k == k
+
+    def test_history_has_decreasing_guesses_then_refinement(self, two_triangles):
+        result = mcp_clustering(two_triangles, k=2, seed=0, refine=False)
+        qs = [record.q for record in result.history]
+        assert qs == sorted(qs, reverse=True)
+
+    def test_needs_graph_or_oracle(self):
+        with pytest.raises(ClusteringError):
+            mcp_clustering(None, 2)
+
+    def test_invalid_k(self, two_triangles):
+        with pytest.raises(ClusteringError):
+            mcp_clustering(two_triangles, k=0)
+        with pytest.raises(ClusteringError):
+            mcp_clustering(two_triangles, k=6)
+
+    def test_invalid_gamma(self, two_triangles):
+        with pytest.raises(ClusteringError):
+            mcp_clustering(two_triangles, k=2, gamma=0.0)
+
+    def test_deterministic_with_seed(self, two_triangles):
+        a = mcp_clustering(two_triangles, k=2, seed=9)
+        b = mcp_clustering(two_triangles, k=2, seed=9)
+        assert np.array_equal(a.clustering.assignment, b.clustering.assignment)
+        assert a.q_final == b.q_final
+
+    def test_exact_oracle_mode(self, two_triangles_oracle):
+        result = mcp_clustering(None, 2, oracle=two_triangles_oracle, seed=0)
+        assert result.covers_all
+        assert result.samples_used == 0  # exact oracle consumes no samples
+
+    def test_custom_guess_schedule(self, two_triangles_oracle):
+        result = mcp_clustering(
+            None, 2, oracle=two_triangles_oracle, guess_schedule=[0.9, 0.5, 0.1], refine=False
+        )
+        assert result.covers_all
+
+    def test_geometric_schedule(self, two_triangles_oracle):
+        result = mcp_clustering(
+            None, 2, oracle=two_triangles_oracle, guess_schedule="geometric", refine=False
+        )
+        assert result.covers_all
+
+    def test_theoretical_sample_schedule_runs(self, two_triangles):
+        result = mcp_clustering(
+            two_triangles,
+            k=2,
+            seed=0,
+            sample_schedule="theoretical",
+            p_lower=0.05,
+            guess_schedule=[0.5],
+            refine=False,
+            max_samples=100_000,
+        )
+        assert result.clustering.k == 2
+
+
+class TestSeparatedComponents:
+    def test_two_clear_clusters(self, two_triangles):
+        result = mcp_clustering(two_triangles, k=2, seed=1)
+        assignment = result.clustering.assignment
+        assert len(set(assignment[:3].tolist())) == 1
+        assert len(set(assignment[3:].tolist())) == 1
+        assert assignment[0] != assignment[5]
+
+    def test_disconnected_components_force_partition(self):
+        g = UncertainGraph.from_edges(
+            [(0, 1, 0.9), (1, 2, 0.9), (3, 4, 0.9), (4, 5, 0.9)]
+        )
+        result = mcp_clustering(g, k=2, seed=0)
+        assignment = result.clustering.assignment
+        assert assignment[0] == assignment[1] == assignment[2]
+        assert assignment[3] == assignment[4] == assignment[5]
+
+    def test_more_components_than_k_bottoms_out(self):
+        # 3 components, k=2: no full 2-clustering with positive min-prob
+        # exists, so the schedule bottoms out at p_lower and the result
+        # is completed best-effort.
+        g = UncertainGraph.from_edges(
+            [(0, 1, 0.9), (2, 3, 0.9), (4, 5, 0.9)]
+        )
+        result = mcp_clustering(g, k=2, seed=0, p_lower=0.01)
+        assert not result.covers_all
+        assert result.clustering.covers_all  # completed anyway
+        assert result.min_prob_estimate == 0.0
+
+
+class TestGuarantee:
+    """Theorem 3: min-prob(C) >= p_opt_min(k)^2 / (1 + gamma)."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_approximation_bound_exact_oracle(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        graph = random_graph(8, 0.4, rng, prob_low=0.25)
+        oracle = ExactOracle(graph)
+        gamma = 0.1
+        for k in (2, 3):
+            p_opt, _ = optimal_min_prob(oracle, k)
+            if p_opt == 0.0:
+                continue
+            result = mcp_clustering(
+                None, k, oracle=oracle, gamma=gamma, seed=seed, p_lower=1e-5
+            )
+            achieved = min_connection_probability(result.clustering, oracle)
+            bound = p_opt**2 / (1 + gamma)
+            assert achieved >= bound - 1e-12, (
+                f"k={k}: achieved {achieved} < bound {bound} (p_opt={p_opt})"
+            )
+
+    def test_refinement_improves_or_matches_threshold(self, two_triangles_oracle):
+        rough = mcp_clustering(None, 2, oracle=two_triangles_oracle, refine=False, seed=0)
+        refined = mcp_clustering(None, 2, oracle=two_triangles_oracle, refine=True, seed=0)
+        assert refined.q_final >= rough.q_final - 1e-12
+
+
+class TestMonteCarloIntegration:
+    def test_sampled_run_close_to_exact(self, two_triangles):
+        exact = ExactOracle(two_triangles)
+        sampled_result = mcp_clustering(two_triangles, k=2, seed=3, eps=0.2)
+        achieved = min_connection_probability(sampled_result.clustering, exact)
+        exact_result = mcp_clustering(None, 2, oracle=exact, seed=3)
+        reference = min_connection_probability(exact_result.clustering, exact)
+        assert achieved >= reference * 0.7
+
+    def test_progressive_sampling_reuses_worlds(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=0)
+        mcp_clustering(None, 2, oracle=oracle, seed=0)
+        assert oracle.num_samples > 0  # schedule drove sampling
+
+    def test_history_reports_sample_counts(self, two_triangles):
+        result = mcp_clustering(two_triangles, k=2, seed=0)
+        assert all(record.samples > 0 for record in result.history)
+
+
+class TestDepthLimited:
+    def test_depth_run_covers(self, two_triangles):
+        result = mcp_clustering(two_triangles, k=2, seed=0, depth=2)
+        assert result.clustering.covers_all
+
+    def test_depth_guarantee_theorem5(self):
+        # Theorem 5 bound: min-prob_d >= p_opt_min(k, floor(d/2))^2 / (1+gamma)
+        rng = np.random.default_rng(77)
+        graph = random_graph(8, 0.4, rng, prob_low=0.3)
+        oracle = ExactOracle(graph)
+        d, k, gamma = 4, 2, 0.1
+        p_opt_half, _ = optimal_min_prob(oracle, k, depth=d // 2)
+        if p_opt_half == 0.0:
+            pytest.skip("graph has no positive half-depth optimum")
+        result = mcp_clustering(None, k, oracle=oracle, depth=d, gamma=gamma, seed=0)
+        achieved = min_connection_probability(result.clustering, oracle, depth=d)
+        assert achieved >= p_opt_half**2 / (1 + gamma) - 1e-12
+
+    def test_invalid_depth(self, two_triangles):
+        with pytest.raises(ClusteringError):
+            mcp_clustering(two_triangles, k=2, depth=0)

@@ -1,0 +1,109 @@
+"""Tests for the pair-level prediction (confusion) metrics."""
+
+import numpy as np
+import pytest
+
+from repro import Clustering, ClusteringError
+from repro.core.clustering import UNCOVERED
+from repro.metrics.prediction import PairConfusion, pair_confusion
+
+
+def clustering_of(assignment, centers, n=None):
+    assignment = np.asarray(assignment, dtype=np.int32)
+    n = n if n is not None else len(assignment)
+    return Clustering(n, np.asarray(centers), assignment)
+
+
+class TestPairConfusionCounts:
+    def test_perfect_prediction(self):
+        clustering = clustering_of([0, 0, 1, 1], [0, 2])
+        complexes = [np.array([0, 1]), np.array([2, 3])]
+        confusion = pair_confusion(clustering, complexes)
+        assert confusion.tp == 2
+        assert confusion.fp == 0
+        assert confusion.fn == 0
+        assert confusion.tn == 4
+        assert confusion.tpr == 1.0
+        assert confusion.fpr == 0.0
+
+    def test_exact_counts_hand_checked(self):
+        # Universe {0,1,2,3}; truth pairs: (0,1), (2,3).
+        # Prediction: {0,1,2} together, {3} alone.
+        clustering = clustering_of([0, 0, 0, 1], [0, 3])
+        complexes = [np.array([0, 1]), np.array([2, 3])]
+        confusion = pair_confusion(clustering, complexes)
+        # predicted pairs: (0,1) TP, (0,2) FP, (1,2) FP
+        # not predicted: (2,3) FN; (0,3), (1,3) TN
+        assert (confusion.tp, confusion.fp, confusion.fn, confusion.tn) == (1, 2, 1, 2)
+        assert confusion.tpr == pytest.approx(0.5)
+        assert confusion.fpr == pytest.approx(0.5)
+
+    def test_universe_restricted_to_complex_members(self):
+        # Node 4 is in no complex: pairs involving it must not count.
+        clustering = clustering_of([0, 0, 0, 1, 0], [0, 3])
+        complexes = [np.array([0, 1]), np.array([2, 3])]
+        confusion = pair_confusion(clustering, complexes)
+        assert confusion.n_pairs == 6  # C(4,2), not C(5,2)
+
+    def test_overlapping_complexes(self):
+        # Node 1 belongs to both complexes: (0,1) and (1,2) are truth.
+        clustering = clustering_of([0, 0, 0], [0])
+        complexes = [np.array([0, 1]), np.array([1, 2])]
+        confusion = pair_confusion(clustering, complexes)
+        assert confusion.tp == 2
+        assert confusion.fp == 1  # (0,2) predicted but never co-complexed
+
+    def test_uncovered_nodes_predict_nothing(self):
+        clustering = clustering_of([0, UNCOVERED, UNCOVERED], [0])
+        complexes = [np.array([0, 1, 2])]
+        confusion = pair_confusion(clustering, complexes)
+        assert confusion.tp == 0
+        assert confusion.fn == 3
+
+    def test_raw_assignment_accepted(self):
+        confusion = pair_confusion(
+            np.array([0, 0, 1, 1], dtype=np.int32),
+            [np.array([0, 1]), np.array([2, 3])],
+        )
+        assert confusion.tpr == 1.0
+
+    def test_assignment_length_check(self):
+        with pytest.raises(ClusteringError):
+            pair_confusion(np.array([0, 0]), [np.array([0, 1])], n_nodes=5)
+
+    def test_member_out_of_range(self):
+        clustering = clustering_of([0, 0], [0])
+        with pytest.raises(ClusteringError):
+            pair_confusion(clustering, [np.array([0, 9])])
+
+    def test_requires_complexes(self):
+        clustering = clustering_of([0, 0], [0])
+        with pytest.raises(ClusteringError):
+            pair_confusion(clustering, [])
+
+    def test_single_member_universe_rejected(self):
+        clustering = clustering_of([0, 0], [0])
+        with pytest.raises(ClusteringError):
+            pair_confusion(clustering, [np.array([1])])
+
+
+class TestRates:
+    def test_rates_nan_when_undefined(self):
+        confusion = PairConfusion(tp=0, fp=0, fn=0, tn=5)
+        assert np.isnan(confusion.tpr)
+        confusion = PairConfusion(tp=3, fp=0, fn=0, tn=0)
+        assert np.isnan(confusion.fpr)
+
+    def test_precision_f1(self):
+        confusion = PairConfusion(tp=6, fp=2, fn=2, tn=10)
+        assert confusion.precision == pytest.approx(0.75)
+        assert confusion.tpr == pytest.approx(0.75)
+        assert confusion.f1 == pytest.approx(0.75)
+
+    def test_f1_nan_when_empty(self):
+        confusion = PairConfusion(tp=0, fp=0, fn=0, tn=1)
+        assert np.isnan(confusion.f1)
+
+    def test_n_pairs(self):
+        confusion = PairConfusion(tp=1, fp=2, fn=3, tn=4)
+        assert confusion.n_pairs == 10

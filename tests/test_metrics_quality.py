@@ -1,0 +1,145 @@
+"""Tests for pmin / pavg / AVPR quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro import Clustering, MonteCarloOracle, UncertainGraph
+from repro.core.clustering import UNCOVERED
+from repro.metrics.quality import (
+    avg_connection_probability,
+    avpr,
+    connection_to_centers,
+    inner_avpr,
+    min_connection_probability,
+    outer_avpr,
+)
+from repro.sampling import ExactOracle
+
+
+@pytest.fixture
+def split_clustering(two_triangles):
+    """The natural 2-clustering of the two-triangles graph."""
+    return Clustering(
+        6, np.array([0, 3]), np.array([0, 0, 0, 1, 1, 1], dtype=np.int32)
+    )
+
+
+@pytest.fixture
+def bad_clustering(two_triangles):
+    """A clustering that crosses the flaky bridge."""
+    return Clustering(
+        6, np.array([0, 5]), np.array([0, 0, 0, 0, 1, 1], dtype=np.int32)
+    )
+
+
+class TestCenterConnection:
+    def test_values_match_oracle(self, two_triangles_oracle, split_clustering):
+        values = connection_to_centers(split_clustering, two_triangles_oracle)
+        for node in range(6):
+            center = split_clustering.center_of(node)
+            assert values[node] == pytest.approx(
+                two_triangles_oracle.connection(center, node)
+            )
+
+    def test_uncovered_gets_zero(self, two_triangles_oracle):
+        clustering = Clustering(
+            6, np.array([0]), np.array([0, 0, 0, UNCOVERED, UNCOVERED, UNCOVERED], dtype=np.int32)
+        )
+        values = connection_to_centers(clustering, two_triangles_oracle)
+        assert values[3] == values[4] == values[5] == 0.0
+
+    def test_depth_variant(self, two_triangles_oracle, split_clustering):
+        shallow = connection_to_centers(split_clustering, two_triangles_oracle, depth=1)
+        deep = connection_to_centers(split_clustering, two_triangles_oracle, depth=3)
+        assert np.all(shallow <= deep + 1e-12)
+
+
+class TestMinAvg:
+    def test_good_clustering_beats_bad(self, two_triangles_oracle, split_clustering, bad_clustering):
+        good = min_connection_probability(split_clustering, two_triangles_oracle)
+        bad = min_connection_probability(bad_clustering, two_triangles_oracle)
+        assert good > bad
+
+    def test_split_min_value(self, two_triangles_oracle, split_clustering):
+        # Within one triangle every connection probability is high.
+        value = min_connection_probability(split_clustering, two_triangles_oracle)
+        assert value > 0.8
+
+    def test_bridge_crossing_is_poor(self, two_triangles_oracle, bad_clustering):
+        assert min_connection_probability(bad_clustering, two_triangles_oracle) < 0.1
+
+    def test_avg_between_min_and_one(self, two_triangles_oracle, split_clustering):
+        pmin = min_connection_probability(split_clustering, two_triangles_oracle)
+        pavg = avg_connection_probability(split_clustering, two_triangles_oracle)
+        assert pmin <= pavg <= 1.0
+
+    def test_all_uncovered_min_is_zero(self, two_triangles_oracle):
+        clustering = Clustering(
+            6, np.array([0]), np.array([0, UNCOVERED, UNCOVERED, UNCOVERED, UNCOVERED, UNCOVERED], dtype=np.int32)
+        )
+        assert avg_connection_probability(clustering, two_triangles_oracle) == pytest.approx(1 / 6)
+
+
+class TestAVPR:
+    def test_exact_oracle_matrix_path(self, two_triangles_oracle, split_clustering):
+        inner, outer = avpr(split_clustering, two_triangles_oracle)
+        matrix = two_triangles_oracle.pairwise_matrix()
+        inner_pairs = [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]
+        expected_inner = np.mean([matrix[u, v] for u, v in inner_pairs])
+        outer_pairs = [(u, v) for u in range(3) for v in range(3, 6)]
+        expected_outer = np.mean([matrix[u, v] for u, v in outer_pairs])
+        assert inner == pytest.approx(expected_inner)
+        assert outer == pytest.approx(expected_outer)
+
+    def test_sampled_matches_exact(self, two_triangles, split_clustering):
+        exact = ExactOracle(two_triangles)
+        sampled = MonteCarloOracle(two_triangles, seed=0, chunk_size=97)
+        sampled.ensure_samples(5000)
+        exact_inner, exact_outer = avpr(split_clustering, exact)
+        mc_inner, mc_outer = avpr(split_clustering, sampled)
+        assert mc_inner == pytest.approx(exact_inner, abs=0.03)
+        assert mc_outer == pytest.approx(exact_outer, abs=0.03)
+
+    def test_good_clustering_separates_inner_outer(self, two_triangles, split_clustering):
+        oracle = MonteCarloOracle(two_triangles, seed=1)
+        oracle.ensure_samples(2000)
+        inner, outer = avpr(split_clustering, oracle)
+        assert inner > 0.8
+        assert outer < 0.2
+
+    def test_singletons_have_nan_inner(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=1)
+        oracle.ensure_samples(100)
+        clustering = Clustering(
+            6, np.arange(6), np.arange(6, dtype=np.int32)
+        )
+        inner, outer = avpr(clustering, oracle)
+        assert np.isnan(inner)
+        assert np.isfinite(outer)
+
+    def test_one_cluster_has_nan_outer(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=1)
+        oracle.ensure_samples(100)
+        clustering = Clustering(6, np.array([0]), np.zeros(6, dtype=np.int32))
+        inner, outer = avpr(clustering, oracle)
+        assert np.isfinite(inner)
+        assert np.isnan(outer)
+
+    def test_uncovered_nodes_count_as_singletons(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=2)
+        oracle.ensure_samples(500)
+        partial = Clustering(
+            6,
+            np.array([0, 3]),
+            np.array([0, 0, UNCOVERED, 1, 1, UNCOVERED], dtype=np.int32),
+        )
+        inner, outer = avpr(partial, oracle)
+        assert np.isfinite(inner)
+        assert np.isfinite(outer)
+
+    def test_helper_wrappers(self, two_triangles, split_clustering):
+        oracle = MonteCarloOracle(two_triangles, seed=3)
+        oracle.ensure_samples(500)
+        inner, outer = avpr(split_clustering, oracle)
+        assert inner_avpr(split_clustering, oracle) == pytest.approx(inner)
+        assert outer_avpr(split_clustering, oracle) == pytest.approx(outer)

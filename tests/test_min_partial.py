@@ -1,0 +1,190 @@
+"""Tests for min-partial (Algorithm 1 and the depth variant, Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro import ClusteringError, MonteCarloOracle, UncertainGraph, min_partial
+from repro.core.bruteforce import optimal_min_prob
+from repro.sampling import ExactOracle
+from tests.conftest import random_graph
+
+
+class TestBasicInvariants:
+    def test_covered_nodes_meet_threshold(self, two_triangles_oracle):
+        result = min_partial(two_triangles_oracle, k=2, q=0.5, rng=0)
+        clustering = result.clustering
+        for node in np.flatnonzero(clustering.covered_mask):
+            center = clustering.center_of(int(node))
+            assert two_triangles_oracle.connection(center, int(node)) >= 0.5
+
+    def test_uncovered_nodes_below_threshold_for_loop_centers(self, two_triangles_oracle):
+        # Maximality: an uncovered node is below q for every loop center.
+        result = min_partial(two_triangles_oracle, k=1, q=0.5, rng=0)
+        clustering = result.clustering
+        loop_centers = clustering.centers[: result.n_loop_centers]
+        for node in np.flatnonzero(~clustering.covered_mask):
+            for center in loop_centers:
+                assert two_triangles_oracle.connection(int(center), int(node)) < 0.5
+
+    def test_returns_k_distinct_centers(self, two_triangles_oracle):
+        for k in (1, 2, 3, 5):
+            result = min_partial(two_triangles_oracle, k=k, q=0.9, rng=1)
+            assert result.clustering.k == k
+            assert len(set(result.clustering.centers.tolist())) == k
+
+    def test_padding_when_all_covered_early(self, two_triangles_oracle):
+        # q tiny: the first center covers its whole component.
+        result = min_partial(two_triangles_oracle, k=3, q=1e-6, rng=0)
+        assert result.n_loop_centers < 3
+        assert result.clustering.k == 3
+        assert result.clustering.covers_all
+
+    def test_center_rows_match_oracle(self, two_triangles_oracle):
+        result = min_partial(two_triangles_oracle, k=2, q=0.5, rng=0)
+        for i, center in enumerate(result.clustering.centers):
+            assert np.allclose(
+                result.center_rows[i],
+                two_triangles_oracle.connection_to_all(int(center)),
+            )
+
+    def test_assignment_is_best_center(self, two_triangles_oracle):
+        result = min_partial(two_triangles_oracle, k=2, q=0.4, rng=0)
+        clustering = result.clustering
+        centers = clustering.centers
+        for node in np.flatnonzero(clustering.covered_mask):
+            if node in centers:
+                continue
+            best = max(
+                range(len(centers)),
+                key=lambda i: two_triangles_oracle.connection(int(centers[i]), int(node)),
+            )
+            assert clustering.assignment[node] == best
+
+    def test_carried_probabilities_consistent(self, two_triangles_oracle):
+        result = min_partial(two_triangles_oracle, k=2, q=0.4, rng=0)
+        clustering = result.clustering
+        for node in np.flatnonzero(clustering.covered_mask):
+            center = clustering.center_of(int(node))
+            assert clustering.center_connection[node] == pytest.approx(
+                two_triangles_oracle.connection(center, int(node))
+            )
+
+
+class TestParameters:
+    def test_invalid_k(self, two_triangles_oracle):
+        with pytest.raises(ClusteringError):
+            min_partial(two_triangles_oracle, k=0, q=0.5)
+        with pytest.raises(ClusteringError):
+            min_partial(two_triangles_oracle, k=6, q=0.5)
+
+    def test_invalid_q(self, two_triangles_oracle):
+        with pytest.raises(ClusteringError):
+            min_partial(two_triangles_oracle, k=2, q=0.0)
+        with pytest.raises(ClusteringError):
+            min_partial(two_triangles_oracle, k=2, q=1.5)
+
+    def test_q_bar_must_dominate_q(self, two_triangles_oracle):
+        with pytest.raises(ClusteringError):
+            min_partial(two_triangles_oracle, k=2, q=0.5, q_bar=0.3)
+
+    def test_inner_depth_requires_depth(self, two_triangles_oracle):
+        with pytest.raises(ClusteringError):
+            min_partial(two_triangles_oracle, k=2, q=0.5, inner_depth=2)
+
+    def test_invalid_alpha(self, two_triangles_oracle):
+        with pytest.raises(ClusteringError):
+            min_partial(two_triangles_oracle, k=2, q=0.5, alpha=0)
+
+    def test_deterministic_under_seed(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=1)
+        oracle.ensure_samples(500)
+        a = min_partial(oracle, k=2, q=0.5, rng=7)
+        b = min_partial(oracle, k=2, q=0.5, rng=7)
+        assert np.array_equal(a.clustering.assignment, b.clustering.assignment)
+        assert np.array_equal(a.clustering.centers, b.clustering.centers)
+
+
+class TestAlphaGreedy:
+    def test_alpha_n_picks_max_coverage_center(self):
+        # A star center covers everything at q; leaves cover only
+        # themselves and the hub.  With alpha = n the hub must win.
+        g = UncertainGraph.from_edges([(0, i, 0.9) for i in range(1, 6)])
+        oracle = ExactOracle(g)
+        result = min_partial(oracle, k=1, q=0.5, alpha=g.n_nodes, q_bar=0.5, rng=0)
+        assert result.clustering.centers[0] == 0
+        assert result.clustering.covers_all
+
+    def test_alpha_one_picks_arbitrary_center(self):
+        g = UncertainGraph.from_edges([(0, i, 0.9) for i in range(1, 6)])
+        oracle = ExactOracle(g)
+        # With alpha=1 and a seeded rng the center is whatever node was
+        # drawn; coverage may be partial if a leaf is drawn.
+        result = min_partial(oracle, k=1, q=0.5, alpha=1, rng=3)
+        assert result.clustering.k == 1
+
+    def test_higher_q_bar_changes_selection(self):
+        # Node 0 covers many nodes weakly; node 5 covers few strongly.
+        edges = [(0, i, 0.55) for i in range(1, 5)]
+        edges += [(5, 6, 0.95), (5, 7, 0.95)]
+        g = UncertainGraph.from_edges(edges)
+        oracle = ExactOracle(g)
+        weak = min_partial(oracle, k=1, q=0.5, q_bar=0.5, alpha=g.n_nodes, rng=0)
+        strong = min_partial(oracle, k=1, q=0.5, q_bar=0.9, alpha=g.n_nodes, rng=0)
+        assert weak.clustering.centers[0] == 0
+        assert strong.clustering.centers[0] == 5
+
+
+class TestLemma2:
+    """Lemma 2: q <= p_opt_min(k)^2 implies full coverage."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_full_cover_at_squared_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = random_graph(9, 0.35, rng, prob_low=0.3)
+        oracle = ExactOracle(graph)
+        for k in (2, 3):
+            p_opt, _ = optimal_min_prob(oracle, k)
+            if p_opt == 0.0:
+                continue  # more components than clusters
+            result = min_partial(oracle, k=k, q=p_opt**2, rng=seed)
+            assert result.covers_all, (
+                f"min-partial must cover all nodes at q = p_opt^2 = {p_opt**2}"
+            )
+
+
+class TestDepthVariant:
+    def test_depth_thresholds_respected(self, two_triangles_oracle):
+        result = min_partial(two_triangles_oracle, k=2, q=0.4, depth=2, rng=0)
+        clustering = result.clustering
+        for node in np.flatnonzero(clustering.covered_mask):
+            center = clustering.center_of(int(node))
+            assert two_triangles_oracle.connection(center, int(node), depth=2) >= 0.4
+
+    def test_depth_coverage_no_better_than_unbounded(self, two_triangles_oracle):
+        free = min_partial(two_triangles_oracle, k=1, q=0.4, rng=0)
+        limited = min_partial(two_triangles_oracle, k=1, q=0.4, depth=1, rng=0)
+        assert limited.clustering.n_covered <= free.clustering.n_covered
+
+    def test_inner_depth_defaults_to_depth(self, two_triangles_oracle):
+        result = min_partial(two_triangles_oracle, k=2, q=0.4, depth=2, rng=0)
+        assert result.inner_depth == 2
+
+    def test_lemma5_full_cover_at_half_depth_optimum(self):
+        rng = np.random.default_rng(4)
+        graph = random_graph(8, 0.4, rng, prob_low=0.4)
+        oracle = ExactOracle(graph)
+        d = 4
+        p_opt, _ = optimal_min_prob(oracle, 2, depth=d // 2)
+        if p_opt > 0:
+            result = min_partial(oracle, k=2, q=p_opt**2, depth=d, rng=0)
+            assert result.covers_all
+
+
+class TestMonteCarloRelaxation:
+    def test_eps_relaxes_thresholds(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=0)
+        oracle.ensure_samples(2000)
+        # With eps, nodes at estimated (1 - eps/2) q still count as covered.
+        strict = min_partial(oracle, k=2, q=0.9, eps=0.0, rng=1)
+        relaxed = min_partial(oracle, k=2, q=0.9, eps=0.5, rng=1)
+        assert relaxed.clustering.n_covered >= strict.clustering.n_covered

@@ -1,0 +1,58 @@
+"""Tests for repeated-run aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.multirun import (
+    AggregatedCell,
+    aggregated_table,
+    run_repeated_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return run_repeated_suite("tiny", n_runs=2, seed=0, datasets=("gavin",))
+
+
+class TestAggregation:
+    def test_every_algorithm_appears(self, cells):
+        assert {c.algorithm for c in cells} == {"gmm", "mcl", "mcp", "acp"}
+
+    def test_run_counts(self, cells):
+        assert all(c.n_runs == 2 for c in cells)
+
+    def test_means_in_range(self, cells):
+        for cell in cells:
+            for metric in ("pmin", "pavg"):
+                value = cell.means[metric]
+                if np.isfinite(value):
+                    assert 0.0 <= value <= 1.0
+            assert cell.stds["pmin"] >= 0.0
+
+    def test_mcp_still_wins_pmin_on_average(self, cells):
+        by_rank: dict = {}
+        for cell in cells:
+            by_rank.setdefault(cell.k_rank, {})[cell.algorithm] = cell
+        for rank, algorithms in by_rank.items():
+            if len(algorithms) < 4:
+                continue
+            assert (
+                algorithms["mcp"].means["pmin"]
+                >= algorithms["mcl"].means["pmin"] - 0.05
+            )
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            run_repeated_suite("tiny", n_runs=0)
+
+
+class TestRendering:
+    def test_table_contains_cells(self, cells):
+        table = aggregated_table(cells, metric="pmin")
+        assert len(table) == len(cells)
+        assert "Repeated-run aggregate" in table.render()
+
+    def test_unknown_metric(self, cells):
+        with pytest.raises(ValueError):
+            aggregated_table(cells, metric="f1")

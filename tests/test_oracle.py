@@ -1,0 +1,181 @@
+"""Tests for the Monte Carlo connection-probability oracle."""
+
+import numpy as np
+import pytest
+
+from repro import MonteCarloOracle, OracleError, UncertainGraph
+from repro.sampling import ExactOracle
+from tests.conftest import random_graph
+
+
+@pytest.fixture
+def sampled(two_triangles) -> MonteCarloOracle:
+    oracle = MonteCarloOracle(two_triangles, seed=123, chunk_size=64)
+    oracle.ensure_samples(4000)
+    return oracle
+
+
+class TestPoolManagement:
+    def test_starts_empty(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=0)
+        assert oracle.num_samples == 0
+
+    def test_query_without_samples_raises(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=0)
+        with pytest.raises(OracleError, match="no samples"):
+            oracle.connection_to_all(0)
+
+    def test_ensure_grows_monotonically(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=0, chunk_size=10)
+        oracle.ensure_samples(25)
+        assert oracle.num_samples == 25
+        oracle.ensure_samples(10)  # never shrinks
+        assert oracle.num_samples == 25
+        oracle.ensure_samples(40)
+        assert oracle.num_samples == 40
+
+    def test_max_samples_enforced(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=0, max_samples=100)
+        with pytest.raises(OracleError, match="max_samples"):
+            oracle.ensure_samples(101)
+
+    def test_invalid_parameters(self, two_triangles):
+        with pytest.raises(ValueError):
+            MonteCarloOracle(two_triangles, chunk_size=0)
+        with pytest.raises(ValueError):
+            MonteCarloOracle(two_triangles, max_samples=0)
+
+    def test_component_labels_shape(self, sampled, two_triangles):
+        labels = sampled.component_labels
+        assert labels.shape == (4000, two_triangles.n_nodes)
+
+    def test_progressive_growth_is_prefix_stable(self, two_triangles):
+        # Growing the pool must keep previously drawn worlds unchanged.
+        a = MonteCarloOracle(two_triangles, seed=9, chunk_size=16)
+        a.ensure_samples(32)
+        first = a.component_labels.copy()
+        a.ensure_samples(64)
+        assert np.array_equal(a.component_labels[:32], first)
+
+
+class TestEstimates:
+    def test_self_connection_is_one(self, sampled):
+        assert sampled.connection(3, 3) == 1.0
+        assert sampled.connection_to_all(3)[3] == 1.0
+
+    def test_matches_exact_oracle(self, sampled, two_triangles_oracle):
+        for u in range(6):
+            estimate = sampled.connection_to_all(u)
+            exact = two_triangles_oracle.connection_to_all(u)
+            assert np.allclose(estimate, exact, atol=0.04)
+
+    def test_certain_edge_estimated_exactly(self):
+        g = UncertainGraph.from_edges([(0, 1, 1.0), (1, 2, 0.5)])
+        oracle = MonteCarloOracle(g, seed=0)
+        oracle.ensure_samples(200)
+        assert oracle.connection(0, 1) == 1.0
+
+    def test_connection_pair_matches_row(self, sampled):
+        row = sampled.connection_to_all(0)
+        assert sampled.connection(0, 4) == pytest.approx(row[4])
+
+    def test_out_of_range_node(self, sampled):
+        with pytest.raises(IndexError):
+            sampled.connection_to_all(17)
+
+    def test_determinism_same_seed(self, two_triangles):
+        a = MonteCarloOracle(two_triangles, seed=5)
+        b = MonteCarloOracle(two_triangles, seed=5)
+        a.ensure_samples(500)
+        b.ensure_samples(500)
+        assert np.array_equal(a.connection_to_all(1), b.connection_to_all(1))
+
+    def test_chunking_does_not_change_estimates(self, two_triangles):
+        # Different chunk sizes consume the RNG differently, but the
+        # estimator must stay unbiased: both should be near the truth.
+        exact = ExactOracle(two_triangles).connection(0, 5)
+        for chunk in (7, 100, 2048):
+            oracle = MonteCarloOracle(two_triangles, seed=11, chunk_size=chunk)
+            oracle.ensure_samples(3000)
+            assert oracle.connection(0, 5) == pytest.approx(exact, abs=0.05)
+
+
+class TestDepthQueries:
+    def test_depth_matches_exact(self, sampled, two_triangles_oracle):
+        for depth in (1, 2, 3):
+            estimate = sampled.connection_to_all(0, depth=depth)
+            exact = two_triangles_oracle.connection_to_all(0, depth=depth)
+            assert np.allclose(estimate, exact, atol=0.04)
+
+    def test_depth_monotone_in_d(self, sampled):
+        shallow = sampled.connection_to_all(0, depth=1)
+        deep = sampled.connection_to_all(0, depth=4)
+        assert np.all(shallow <= deep + 1e-12)
+
+    def test_depth_bounded_by_unbounded(self, sampled):
+        depth_limited = sampled.connection_to_all(0, depth=3)
+        unbounded = sampled.connection_to_all(0)
+        assert np.all(depth_limited <= unbounded + 1e-12)
+
+    def test_depth_zero_reaches_only_self(self, sampled):
+        row = sampled.connection_to_all(2, depth=0)
+        expected = np.zeros(6)
+        expected[2] = 1.0
+        assert np.array_equal(row, expected)
+
+    def test_negative_depth_rejected(self, sampled):
+        with pytest.raises(ValueError):
+            sampled.connection_to_all(0, depth=-1)
+
+
+class TestPairwiseMatrix:
+    def test_matches_exact(self, sampled, two_triangles_oracle):
+        estimate = sampled.pairwise_matrix()
+        exact = two_triangles_oracle.pairwise_matrix()
+        assert np.allclose(estimate, exact, atol=0.04)
+
+    def test_symmetric_unit_diagonal(self, sampled):
+        matrix = sampled.pairwise_matrix()
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_subset_consistent_with_rows(self, sampled):
+        nodes = np.array([1, 4, 5])
+        matrix = sampled.pairwise_matrix(nodes)
+        for i, u in enumerate(nodes):
+            row = sampled.connection_to_all(int(u))
+            assert np.allclose(matrix[i], row[nodes])
+
+    def test_depth_variant(self, sampled, two_triangles_oracle):
+        estimate = sampled.pairwise_matrix(depth=2)
+        exact = two_triangles_oracle.pairwise_matrix(depth=2)
+        assert np.allclose(estimate, exact, atol=0.05)
+
+    def test_out_of_range_nodes(self, sampled):
+        with pytest.raises(IndexError):
+            sampled.pairwise_matrix([0, 99])
+
+    def test_empty_subset(self, sampled):
+        assert sampled.pairwise_matrix([]).shape == (0, 0)
+
+
+class TestStatisticalQuality:
+    def test_estimator_is_unbiased_across_seeds(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.5), (1, 2, 0.5), (0, 2, 0.5)])
+        exact = ExactOracle(g).connection(0, 1)
+        estimates = []
+        for seed in range(20):
+            oracle = MonteCarloOracle(g, seed=seed)
+            oracle.ensure_samples(400)
+            estimates.append(oracle.connection(0, 1))
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.02)
+
+    def test_larger_graph_agrees_with_exact(self):
+        rng = np.random.default_rng(2)
+        graph = random_graph(10, 0.3, rng, prob_low=0.3)
+        exact = ExactOracle(graph)
+        oracle = MonteCarloOracle(graph, seed=3)
+        oracle.ensure_samples(6000)
+        assert np.allclose(
+            oracle.pairwise_matrix(), exact.pairwise_matrix(), atol=0.05
+        )

@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for the paper's core invariants.
+
+The central one is Theorem 1 — the multiplicative triangle inequality
+``Pr(u~z) >= Pr(u~v) * Pr(v~z)`` — verified with exact probabilities on
+randomly drawn uncertain graphs, together with its depth-limited
+analogue (Eq. 6) and the structural invariants of sampling and
+clustering primitives.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import UncertainGraph, min_partial
+from repro.sampling import ExactOracle, MonteCarloOracle
+
+MAX_NODES = 7
+
+
+@st.composite
+def uncertain_graphs(draw, max_nodes=MAX_NODES, max_edges=12):
+    """Random small uncertain graphs (exact enumeration stays feasible)."""
+    n = draw(st.integers(3, max_nodes))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    count = draw(st.integers(1, min(max_edges, len(pairs))))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(pairs) - 1), min_size=count, max_size=count, unique=True
+        )
+    )
+    probs = draw(
+        st.lists(
+            st.floats(0.05, 1.0, allow_nan=False), min_size=count, max_size=count
+        )
+    )
+    edges = [(pairs[i][0], pairs[i][1], p) for i, p in zip(indices, probs)]
+    return UncertainGraph.from_edges(edges, nodes=range(n))
+
+
+class TestTriangleInequality:
+    @given(uncertain_graphs())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_theorem1_all_triples(self, graph):
+        oracle = ExactOracle(graph)
+        matrix = oracle.pairwise_matrix()
+        n = graph.n_nodes
+        for u in range(n):
+            for v in range(n):
+                for z in range(n):
+                    assert matrix[u, z] >= matrix[u, v] * matrix[v, z] - 1e-9
+
+    @given(uncertain_graphs(max_nodes=6, max_edges=9), st.integers(1, 2), st.integers(1, 2))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_eq6_depth_composition(self, graph, d1, d2):
+        # Pr(u ~d z) >= Pr(u ~d1 v) * Pr(v ~d2 z) whenever d >= d1 + d2.
+        oracle = ExactOracle(graph)
+        m1 = oracle.pairwise_matrix(depth=d1)
+        m2 = oracle.pairwise_matrix(depth=d2)
+        m = oracle.pairwise_matrix(depth=d1 + d2)
+        n = graph.n_nodes
+        for u in range(n):
+            for v in range(n):
+                for z in range(n):
+                    assert m[u, z] >= m1[u, v] * m2[v, z] - 1e-9
+
+
+class TestOracleProperties:
+    @given(uncertain_graphs(max_nodes=6, max_edges=9))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_exact_matrix_is_valid(self, graph):
+        matrix = ExactOracle(graph).pairwise_matrix()
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.all(matrix >= -1e-12)
+        assert np.all(matrix <= 1.0 + 1e-12)
+
+    @given(uncertain_graphs(max_nodes=6, max_edges=9))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_depth_monotone_up_to_unbounded(self, graph):
+        oracle = ExactOracle(graph)
+        previous = oracle.pairwise_matrix(depth=1)
+        for depth in (2, 3, None):
+            current = oracle.pairwise_matrix(depth=depth)
+            assert np.all(previous <= current + 1e-12)
+            previous = current
+
+    @given(uncertain_graphs(max_nodes=6, max_edges=9), st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_monte_carlo_within_chernoff_band(self, graph, seed):
+        # With 2000 samples, estimates stay within a generous band of the
+        # exact value (band chosen so false failures are ~impossible).
+        exact = ExactOracle(graph).pairwise_matrix()
+        oracle = MonteCarloOracle(graph, seed=seed)
+        oracle.ensure_samples(2000)
+        estimate = oracle.pairwise_matrix()
+        assert np.all(np.abs(estimate - exact) <= 0.08)
+
+    @given(uncertain_graphs(max_nodes=6, max_edges=9))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_probability_one_edges_always_connected(self, graph):
+        oracle = ExactOracle(graph)
+        for u, v, p in zip(graph.edge_src, graph.edge_dst, graph.edge_prob):
+            if p == 1.0:
+                # World probabilities are accumulated in floating point,
+                # so "certain" sums land within an ulp of 1.
+                assert oracle.connection(int(u), int(v)) >= 1.0 - 1e-9
+
+
+class TestMinPartialProperties:
+    @given(
+        uncertain_graphs(max_nodes=6, max_edges=9),
+        st.integers(1, 3),
+        st.floats(0.05, 0.95),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_invariants_hold_for_any_threshold(self, graph, k, q, seed):
+        if k >= graph.n_nodes:
+            k = graph.n_nodes - 1
+        oracle = ExactOracle(graph)
+        result = min_partial(oracle, k=k, q=q, rng=seed)
+        clustering = result.clustering
+        # k distinct centers, each in its own cluster.
+        assert clustering.k == k
+        assert len(set(clustering.centers.tolist())) == k
+        # Covered nodes meet the threshold to their own center.
+        matrix = oracle.pairwise_matrix()
+        for node in np.flatnonzero(clustering.covered_mask):
+            center = clustering.center_of(int(node))
+            assert matrix[center, node] >= q - 1e-12
+        # Uncovered nodes fail the threshold for all loop centers.
+        loop_centers = clustering.centers[: result.n_loop_centers]
+        for node in np.flatnonzero(~clustering.covered_mask):
+            for center in loop_centers:
+                assert matrix[center, node] < q
+
+    @given(uncertain_graphs(max_nodes=6, max_edges=9), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_lower_threshold_covers_no_fewer(self, graph, seed):
+        oracle = ExactOracle(graph)
+        high = min_partial(oracle, k=2, q=0.8, rng=seed)
+        low = min_partial(oracle, k=2, q=0.2, rng=seed)
+        assert low.clustering.n_covered >= high.clustering.n_covered

@@ -1,0 +1,87 @@
+"""Tests for the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing {name}"
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.GraphValidationError, repro.ReproError)
+        assert issubclass(repro.ClusteringError, repro.ReproError)
+        assert issubclass(repro.OracleError, repro.ReproError)
+        assert issubclass(repro.ExperimentError, repro.ReproError)
+        assert issubclass(repro.GraphValidationError, ValueError)
+        assert issubclass(repro.OracleError, RuntimeError)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.graph",
+            "repro.sampling",
+            "repro.core",
+            "repro.baselines",
+            "repro.metrics",
+            "repro.datasets",
+            "repro.reductions",
+            "repro.experiments",
+            "repro.utils",
+        ],
+    )
+    def test_subpackages_importable(self, module):
+        imported = importlib.import_module(module)
+        assert imported.__doc__, f"{module} needs a module docstring"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.graph",
+            "repro.sampling",
+            "repro.core",
+            "repro.baselines",
+            "repro.metrics",
+            "repro.datasets",
+            "repro.reductions",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        imported = importlib.import_module(module)
+        for name in imported.__all__:
+            assert hasattr(imported, name), f"{module}.{name} missing"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "UncertainGraph",
+            "MonteCarloOracle",
+            "ExactOracle",
+            "Clustering",
+            "min_partial",
+            "mcp_clustering",
+            "acp_clustering",
+        ],
+    )
+    def test_public_items_documented(self, name):
+        item = getattr(repro, name)
+        assert item.__doc__ and len(item.__doc__) > 40
+
+
+class TestEndToEnd:
+    def test_minimal_workflow(self):
+        graph = repro.UncertainGraph.from_edges(
+            [(0, 1, 0.9), (1, 2, 0.9), (3, 4, 0.9), (2, 3, 0.05)]
+        )
+        result = repro.mcp_clustering(graph, k=2, seed=0)
+        assert result.clustering.covers_all
+        assert result.clustering.k == 2

@@ -1,0 +1,139 @@
+"""Tests for reliability query primitives."""
+
+import numpy as np
+import pytest
+
+from repro import ClusteringError, MonteCarloOracle, UncertainGraph
+from repro.queries import (
+    k_nearest_by_reliability,
+    most_reliable_source,
+    reliability_histogram,
+    reliable_set,
+)
+from repro.sampling import ExactOracle
+
+
+class TestKNearest:
+    def test_orders_by_probability(self, two_triangles_oracle):
+        result = k_nearest_by_reliability(two_triangles_oracle, 0, 3)
+        probs = [p for _, p in result]
+        assert probs == sorted(probs, reverse=True)
+        # Same-triangle nodes first.
+        assert {node for node, _ in result[:2]} == {1, 2}
+
+    def test_excludes_source(self, two_triangles_oracle):
+        result = k_nearest_by_reliability(two_triangles_oracle, 0, 5)
+        assert all(node != 0 for node, _ in result)
+
+    def test_drops_disconnected_by_default(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.9)], nodes=range(4))
+        oracle = ExactOracle(g)
+        result = k_nearest_by_reliability(oracle, 0, 3)
+        assert result == [(1, pytest.approx(0.9))]
+
+    def test_include_disconnected(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.9)], nodes=range(4))
+        oracle = ExactOracle(g)
+        result = k_nearest_by_reliability(oracle, 0, 3, include_disconnected=True)
+        assert len(result) == 3
+        assert result[0] == (1, pytest.approx(0.9))
+        assert result[1][1] == 0.0
+
+    def test_depth_limited(self, path4):
+        oracle = ExactOracle(path4)
+        result = k_nearest_by_reliability(oracle, 0, 3, depth=1)
+        assert result == [(1, pytest.approx(0.9))]
+
+    def test_deterministic_tie_break(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.5), (0, 2, 0.5)])
+        oracle = ExactOracle(g)
+        result = k_nearest_by_reliability(oracle, 0, 2)
+        assert [node for node, _ in result] == [1, 2]
+
+    def test_invalid_k(self, two_triangles_oracle):
+        with pytest.raises(ClusteringError):
+            k_nearest_by_reliability(two_triangles_oracle, 0, 0)
+        with pytest.raises(ClusteringError):
+            k_nearest_by_reliability(two_triangles_oracle, 0, 6)
+
+    def test_invalid_source(self, two_triangles_oracle):
+        with pytest.raises(IndexError):
+            k_nearest_by_reliability(two_triangles_oracle, 9, 2)
+
+    def test_monte_carlo_agrees_with_exact(self, two_triangles):
+        exact = ExactOracle(two_triangles)
+        sampled = MonteCarloOracle(two_triangles, seed=0)
+        sampled.ensure_samples(4000)
+        exact_top = {n for n, _ in k_nearest_by_reliability(exact, 0, 2)}
+        sampled_top = {n for n, _ in k_nearest_by_reliability(sampled, 0, 2)}
+        assert exact_top == sampled_top
+
+
+class TestMostReliableSource:
+    def test_hub_wins_star(self):
+        g = UncertainGraph.from_edges([(0, i, 0.8) for i in range(1, 6)])
+        oracle = ExactOracle(g)
+        node, score = most_reliable_source(oracle)
+        assert node == 0
+        assert score == pytest.approx(0.8)
+
+    def test_is_k1_mcp(self, two_triangles_oracle):
+        # With aggregate="min" this is the brute-force 1-center optimum.
+        from repro.core.bruteforce import optimal_min_prob
+
+        expected_value, _ = optimal_min_prob(two_triangles_oracle, 1)
+        _, score = most_reliable_source(two_triangles_oracle)
+        assert score == pytest.approx(expected_value)
+
+    def test_avg_aggregate(self, two_triangles_oracle):
+        from repro.core.bruteforce import optimal_avg_prob
+
+        expected_value, _ = optimal_avg_prob(two_triangles_oracle, 1)
+        _, score = most_reliable_source(two_triangles_oracle, aggregate="avg")
+        assert score == pytest.approx(expected_value)
+
+    def test_restricted_candidates_and_targets(self, two_triangles_oracle):
+        node, score = most_reliable_source(
+            two_triangles_oracle, candidates=[3, 4, 5], targets=[3, 4, 5]
+        )
+        assert node in (3, 4, 5)
+        assert score > 0.7
+
+    def test_invalid_aggregate(self, two_triangles_oracle):
+        with pytest.raises(ClusteringError):
+            most_reliable_source(two_triangles_oracle, aggregate="median")
+
+    def test_empty_candidates(self, two_triangles_oracle):
+        with pytest.raises(ClusteringError):
+            most_reliable_source(two_triangles_oracle, candidates=[])
+
+
+class TestReliableSet:
+    def test_contains_source(self, two_triangles_oracle):
+        nodes = reliable_set(two_triangles_oracle, 0, 0.5)
+        assert 0 in nodes
+
+    def test_threshold_semantics(self, two_triangles_oracle):
+        nodes = reliable_set(two_triangles_oracle, 0, 0.5)
+        row = two_triangles_oracle.connection_to_all(0)
+        assert set(nodes.tolist()) == set(np.flatnonzero(row >= 0.5).tolist())
+
+    def test_tight_threshold_is_source_only(self, two_triangles_oracle):
+        nodes = reliable_set(two_triangles_oracle, 0, 1.0)
+        assert nodes.tolist() == [0]
+
+    def test_invalid_threshold(self, two_triangles_oracle):
+        with pytest.raises(ClusteringError):
+            reliable_set(two_triangles_oracle, 0, 0.0)
+
+
+class TestHistogram:
+    def test_counts_cover_all_other_nodes(self, two_triangles_oracle):
+        counts, edges = reliability_histogram(two_triangles_oracle, 0, bins=5)
+        assert counts.sum() == 5  # n - 1
+        assert len(edges) == 6
+
+    def test_range_is_unit_interval(self, two_triangles_oracle):
+        _, edges = reliability_histogram(two_triangles_oracle, 0)
+        assert edges[0] == 0.0
+        assert edges[-1] == 1.0

@@ -1,0 +1,35 @@
+"""Tests for the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro import ExperimentError
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        for name in DATASET_NAMES:
+            graph, complexes = load_dataset(
+                name, seed=0, scale=0.08, dblp_authors=400
+            )
+            assert graph.n_nodes > 10
+            if name == "dblp":
+                assert complexes is None
+            else:
+                assert complexes is not None
+                assert len(complexes) >= 1
+
+    def test_unknown_name(self):
+        with pytest.raises(ExperimentError, match="unknown dataset"):
+            load_dataset("imdb")
+
+    def test_scale_shrinks_ppi(self):
+        big, _ = load_dataset("gavin", seed=0, scale=0.3)
+        small, _ = load_dataset("gavin", seed=0, scale=0.1)
+        assert small.n_nodes < big.n_nodes
+
+    def test_deterministic(self):
+        a, _ = load_dataset("krogan", seed=5, scale=0.1)
+        b, _ = load_dataset("krogan", seed=5, scale=0.1)
+        assert np.array_equal(a.edge_prob, b.edge_prob)

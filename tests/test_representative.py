@@ -1,0 +1,88 @@
+"""Tests for representative-world extraction."""
+
+import numpy as np
+import pytest
+
+from repro import UncertainGraph
+from repro.sampling.representative import (
+    average_degree_representative,
+    degree_discrepancy,
+    most_probable_world,
+)
+from tests.conftest import random_graph
+
+
+class TestMostProbableWorld:
+    def test_majority_rule(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.9), (1, 2, 0.3), (2, 3, 0.5)])
+        mask = most_probable_world(g)
+        assert mask.tolist() == [True, False, True]
+
+    def test_tie_probability_excludes(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.5)])
+        assert most_probable_world(g, tie_probability=0.6).tolist() == [False]
+
+    def test_is_a_mode(self):
+        # For independent edges, the per-edge majority maximizes world
+        # probability; verify against enumeration.
+        from repro.sampling import enumerate_worlds
+
+        g = UncertainGraph.from_edges([(0, 1, 0.7), (1, 2, 0.2), (0, 2, 0.9)])
+        best_mask, best_prob = None, -1.0
+        for mask, prob in enumerate_worlds(g):
+            if prob > best_prob:
+                best_mask, best_prob = mask, prob
+        assert np.array_equal(most_probable_world(g), best_mask)
+
+
+class TestDegreeDiscrepancy:
+    def test_zero_for_certain_graph(self):
+        g = UncertainGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        assert degree_discrepancy(g, np.array([True, True])) == 0.0
+
+    def test_hand_computed(self):
+        g = UncertainGraph.from_edges([(0, 1, 0.5)])
+        # Included: both endpoints off by 0.5 -> total 1.0.
+        assert degree_discrepancy(g, np.array([True])) == pytest.approx(1.0)
+        assert degree_discrepancy(g, np.array([False])) == pytest.approx(1.0)
+
+    def test_shape_check(self, two_triangles):
+        with pytest.raises(ValueError):
+            degree_discrepancy(two_triangles, np.array([True]))
+
+
+class TestRepresentative:
+    def test_no_worse_than_most_probable(self):
+        rng = np.random.default_rng(0)
+        for seed in range(5):
+            graph = random_graph(12, 0.3, np.random.default_rng(seed), prob_low=0.1)
+            base = degree_discrepancy(graph, most_probable_world(graph))
+            improved = degree_discrepancy(graph, average_degree_representative(graph))
+            assert improved <= base + 1e-9
+
+    def test_mask_shape(self, two_triangles):
+        mask = average_degree_representative(two_triangles)
+        assert mask.shape == (two_triangles.n_edges,)
+        assert mask.dtype == bool
+
+    def test_certain_graph_fixed_point(self):
+        g = UncertainGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        assert average_degree_representative(g).all()
+
+    def test_invalid_passes(self, two_triangles):
+        with pytest.raises(ValueError):
+            average_degree_representative(two_triangles, max_passes=0)
+
+    def test_expected_degree_preserved_roughly(self):
+        rng = np.random.default_rng(3)
+        graph = random_graph(20, 0.25, rng, prob_low=0.2, prob_high=0.9)
+        mask = average_degree_representative(graph)
+        expected = np.zeros(graph.n_nodes)
+        np.add.at(expected, graph.edge_src, graph.edge_prob)
+        np.add.at(expected, graph.edge_dst, graph.edge_prob)
+        actual = np.zeros(graph.n_nodes)
+        np.add.at(actual, graph.edge_src, mask.astype(float))
+        np.add.at(actual, graph.edge_dst, mask.astype(float))
+        # Each node's degree lands within 1 of its expectation after the
+        # greedy pass (integrality limits exactness).
+        assert np.all(np.abs(actual - expected) <= 1.0 + 1e-9)

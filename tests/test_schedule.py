@@ -1,0 +1,113 @@
+"""Tests for guess schedules and binary-search refinement."""
+
+import pytest
+
+from repro import ClusteringError
+from repro.core.schedule import (
+    doubling_guesses,
+    geometric_guesses,
+    refine_between,
+    resolve_guess_schedule,
+)
+
+
+class TestGeometric:
+    def test_starts_at_one(self):
+        guesses = geometric_guesses(0.1, 1e-2)
+        assert guesses[0] == 1.0
+
+    def test_strictly_decreasing(self):
+        guesses = geometric_guesses(0.1, 1e-3)
+        assert all(a > b for a, b in zip(guesses, guesses[1:]))
+
+    def test_ratio_is_one_plus_gamma(self):
+        guesses = geometric_guesses(0.25, 0.1)
+        for a, b in zip(guesses[:-2], guesses[1:-1]):
+            assert a / b == pytest.approx(1.25)
+
+    def test_ends_at_p_lower(self):
+        guesses = geometric_guesses(0.1, 1e-3)
+        assert guesses[-1] == 1e-3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ClusteringError):
+            geometric_guesses(0.0, 0.1)
+        with pytest.raises(ClusteringError):
+            geometric_guesses(0.1, 0.0)
+
+
+class TestDoubling:
+    def test_leading_one(self):
+        guesses = doubling_guesses(0.1, 1e-4)
+        assert guesses[0] == 1.0
+
+    def test_matches_paper_formula(self):
+        # q_i = max(1 - gamma * 2^i, p_lower), gamma = 0.1
+        guesses = doubling_guesses(0.1, 1e-4)
+        assert guesses[1] == pytest.approx(0.9)
+        assert guesses[2] == pytest.approx(0.8)
+        assert guesses[3] == pytest.approx(0.6)
+        assert guesses[4] == pytest.approx(0.2)
+        assert guesses[5] == 1e-4
+
+    def test_strictly_decreasing(self):
+        guesses = doubling_guesses(0.3, 1e-4)
+        assert all(a > b for a, b in zip(guesses, guesses[1:]))
+
+    def test_short_for_large_gamma(self):
+        # Doubling reaches the floor in O(log(1/gamma)) steps.
+        assert len(doubling_guesses(0.1, 1e-4)) < len(geometric_guesses(0.1, 1e-4))
+
+
+class TestResolve:
+    def test_by_name(self):
+        assert resolve_guess_schedule("geometric", 0.1, 0.01) == geometric_guesses(0.1, 0.01)
+        assert resolve_guess_schedule("doubling", 0.1, 0.01) == doubling_guesses(0.1, 0.01)
+
+    def test_explicit_sequence(self):
+        assert resolve_guess_schedule([0.9, 0.5], 0.1, 0.01) == [0.9, 0.5]
+
+    def test_unknown_name(self):
+        with pytest.raises(ClusteringError):
+            resolve_guess_schedule("linear", 0.1, 0.01)
+
+    def test_rejects_non_decreasing(self):
+        with pytest.raises(ClusteringError):
+            resolve_guess_schedule([0.5, 0.9], 0.1, 0.01)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ClusteringError):
+            resolve_guess_schedule([], 0.1, 0.01)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ClusteringError):
+            resolve_guess_schedule([1.5], 0.1, 0.01)
+
+
+class TestRefine:
+    def test_finds_threshold(self):
+        # succeeds iff q <= 0.37
+        best = refine_between(0.1, 1.0, lambda q: q <= 0.37, ratio=0.99)
+        assert best == pytest.approx(0.37, rel=0.02)
+        assert best <= 0.37
+
+    def test_stops_at_ratio(self):
+        calls = []
+
+        def succeeds(q):
+            calls.append(q)
+            return q <= 0.5
+
+        refine_between(0.4, 0.8, succeeds, ratio=0.9)
+        # log(0.8/0.4)/log(1/0.9) ~ 6.6 probes at most
+        assert len(calls) <= 8
+
+    def test_returns_lower_bound_when_nothing_succeeds_above(self):
+        best = refine_between(0.2, 0.9, lambda q: q <= 0.2, ratio=0.5)
+        assert best == 0.2
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ClusteringError):
+            refine_between(0.9, 0.5, lambda q: True, ratio=0.9)
+        with pytest.raises(ClusteringError):
+            refine_between(0.1, 0.5, lambda q: True, ratio=1.5)

@@ -1,0 +1,116 @@
+"""Tests for the Theorem 2 Set Cover -> MCP reduction."""
+
+import pytest
+
+from repro import ReproError
+from repro.core.bruteforce import optimal_min_prob
+from repro.reductions import (
+    SetCoverInstance,
+    greedy_set_cover,
+    has_set_cover_of_size,
+    set_cover_to_mcp,
+)
+from repro.reductions.set_cover import element_label, set_label
+from repro.sampling import ExactOracle
+
+
+@pytest.fixture
+def instance():
+    return SetCoverInstance(
+        universe_size=4,
+        sets=(frozenset({0, 1}), frozenset({2, 3}), frozenset({1, 2})),
+    )
+
+
+class TestInstance:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SetCoverInstance(universe_size=0, sets=())
+        with pytest.raises(ReproError):
+            SetCoverInstance(universe_size=2, sets=(frozenset({5}),))
+
+    def test_coverable(self, instance):
+        assert instance.is_coverable()
+        partial = SetCoverInstance(universe_size=3, sets=(frozenset({0}),))
+        assert not partial.is_coverable()
+
+    def test_bruteforce_decision(self, instance):
+        assert not has_set_cover_of_size(instance, 1)
+        assert has_set_cover_of_size(instance, 2)
+        assert has_set_cover_of_size(instance, 3)
+
+    def test_greedy_returns_cover(self, instance):
+        chosen = greedy_set_cover(instance)
+        covered = set()
+        for index in chosen:
+            covered |= instance.sets[index]
+        assert covered == set(range(4))
+
+    def test_greedy_uncoverable_raises(self):
+        bad = SetCoverInstance(universe_size=3, sets=(frozenset({0}),))
+        with pytest.raises(ReproError):
+            greedy_set_cover(bad)
+
+
+class TestReductionGraph:
+    def test_structure(self, instance):
+        graph, eps = set_cover_to_mcp(instance, eps=1e-4)
+        # Nodes: 4 elements + 3 sets.
+        assert graph.n_nodes == 7
+        # Edges: sum |S_i| membership + C(3,2) clique.
+        assert graph.n_edges == 6 + 3
+        assert all(p == eps for _, _, p in graph.edge_list())
+
+    def test_membership_edges(self, instance):
+        graph, _ = set_cover_to_mcp(instance, eps=1e-4)
+        u1 = graph.index_of(element_label(1))
+        s0 = graph.index_of(set_label(0))
+        s1 = graph.index_of(set_label(1))
+        assert graph.has_edge(u1, s0)
+        assert not graph.has_edge(u1, s1)
+
+    def test_set_clique(self, instance):
+        graph, _ = set_cover_to_mcp(instance, eps=1e-4)
+        indices = [graph.index_of(set_label(j)) for j in range(3)]
+        for a in indices:
+            for b in indices:
+                if a != b:
+                    assert graph.has_edge(a, b)
+
+    def test_default_eps_is_tiny(self, instance):
+        _, eps = set_cover_to_mcp(instance)
+        assert 0 < eps <= 1e-12
+
+    def test_uncoverable_rejected(self):
+        bad = SetCoverInstance(universe_size=3, sets=(frozenset({0}),))
+        with pytest.raises(ReproError):
+            set_cover_to_mcp(bad)
+
+    def test_bad_eps(self, instance):
+        with pytest.raises(ReproError):
+            set_cover_to_mcp(instance, eps=2.0)
+
+
+class TestTheorem2Equivalence:
+    """k-clustering with min-prob >= eps exists iff a k-cover exists."""
+
+    @pytest.mark.parametrize(
+        "universe,sets",
+        [
+            (3, ({0, 1}, {1, 2}, {0, 2})),
+            (4, ({0, 1}, {2, 3}, {1, 2})),
+            (4, ({0}, {1}, {2}, {3})),
+            (5, ({0, 1, 2}, {2, 3, 4}, {1, 3})),
+        ],
+    )
+    def test_equivalence(self, universe, sets):
+        instance = SetCoverInstance(universe, tuple(frozenset(s) for s in sets))
+        graph, eps = set_cover_to_mcp(instance, eps=1e-4)
+        oracle = ExactOracle(graph, max_uncertain_edges=24)
+        for k in range(1, min(len(sets) + 1, 5)):
+            p_opt, _ = optimal_min_prob(oracle, k)
+            clustering_exists = p_opt >= eps
+            cover_exists = has_set_cover_of_size(instance, k)
+            assert clustering_exists == cover_exists, (
+                f"k={k}: clustering {clustering_exists} != cover {cover_exists}"
+            )

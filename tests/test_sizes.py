@@ -1,0 +1,101 @@
+"""Tests for sample-size formulas and schedules (Eq. 4, 9, 10)."""
+
+import math
+
+import pytest
+
+from repro.sampling.sizes import (
+    PracticalSchedule,
+    TheoreticalACPSchedule,
+    TheoreticalMCPSchedule,
+    acp_sample_size,
+    epsilon_delta_sample_size,
+    mcp_sample_size,
+)
+
+
+class TestEpsilonDelta:
+    def test_closed_form(self):
+        # r = ceil(3 ln(2/delta) / (eps^2 p))
+        expected = math.ceil(3 * math.log(2 / 0.05) / (0.1**2 * 0.5))
+        assert epsilon_delta_sample_size(0.5, 0.1, 0.05) == expected
+
+    def test_monotone_in_p(self):
+        assert epsilon_delta_sample_size(0.1, 0.2, 0.1) > epsilon_delta_sample_size(
+            0.5, 0.2, 0.1
+        )
+
+    def test_monotone_in_eps(self):
+        assert epsilon_delta_sample_size(0.5, 0.05, 0.1) > epsilon_delta_sample_size(
+            0.5, 0.2, 0.1
+        )
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_invalid_p(self, p):
+        with pytest.raises(ValueError):
+            epsilon_delta_sample_size(p, 0.1, 0.1)
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0])
+    def test_invalid_eps(self, eps):
+        with pytest.raises(ValueError):
+            epsilon_delta_sample_size(0.5, eps, 0.1)
+
+
+class TestScheduleFormulas:
+    def test_mcp_closed_form(self):
+        q, eps, gamma, n, p_lower = 0.25, 0.3, 0.1, 100, 1e-4
+        guesses = 1 + math.floor(math.log(1 / p_lower) / math.log(1 + gamma))
+        expected = math.ceil(12 / (q * eps**2) * math.log(2 * n**3 * guesses))
+        assert mcp_sample_size(q, eps=eps, gamma=gamma, n=n, p_lower=p_lower) == expected
+
+    def test_acp_scales_with_q_cubed(self):
+        small = acp_sample_size(0.5, eps=0.3, gamma=0.1, n=50, p_lower=1e-3)
+        smaller = acp_sample_size(0.25, eps=0.3, gamma=0.1, n=50, p_lower=1e-3)
+        assert smaller / small == pytest.approx(8.0, rel=0.05)
+
+    def test_mcp_scales_with_q(self):
+        base = mcp_sample_size(0.5, eps=0.3, gamma=0.1, n=50, p_lower=1e-3)
+        halved = mcp_sample_size(0.25, eps=0.3, gamma=0.1, n=50, p_lower=1e-3)
+        assert halved / base == pytest.approx(2.0, rel=0.05)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            mcp_sample_size(0.0, eps=0.3, gamma=0.1, n=10, p_lower=1e-3)
+        with pytest.raises(ValueError):
+            acp_sample_size(1.5, eps=0.3, gamma=0.1, n=10, p_lower=1e-3)
+
+    def test_dataclass_schedules_callable(self):
+        mcp = TheoreticalMCPSchedule(eps=0.3, gamma=0.1, n=100, p_lower=1e-4)
+        acp = TheoreticalACPSchedule(eps=0.3, gamma=0.1, n=100, p_lower=1e-4)
+        assert mcp(0.5) == mcp_sample_size(0.5, eps=0.3, gamma=0.1, n=100, p_lower=1e-4)
+        assert acp(0.5) == acp_sample_size(0.5, eps=0.3, gamma=0.1, n=100, p_lower=1e-4)
+        # ACP needs reliable estimates down to q^3: always at least as many.
+        assert acp(0.5) >= mcp(0.5)
+
+
+class TestPracticalSchedule:
+    def test_starts_at_min_samples(self):
+        schedule = PracticalSchedule(min_samples=50, max_samples=2000, scale=50.0)
+        assert schedule(1.0) == 50
+
+    def test_grows_inversely_with_q(self):
+        schedule = PracticalSchedule(min_samples=50, max_samples=10_000, scale=50.0)
+        assert schedule(0.1) == 500
+        assert schedule(0.01) == 5000
+
+    def test_clamps_at_max(self):
+        schedule = PracticalSchedule(min_samples=50, max_samples=2000, scale=50.0)
+        assert schedule(1e-4) == 2000
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            PracticalSchedule(min_samples=0)
+        with pytest.raises(ValueError):
+            PracticalSchedule(min_samples=100, max_samples=50)
+        with pytest.raises(ValueError):
+            PracticalSchedule(scale=-1.0)
+
+    def test_invalid_q(self):
+        schedule = PracticalSchedule()
+        with pytest.raises(ValueError):
+            schedule(0.0)

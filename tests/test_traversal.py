@@ -1,0 +1,100 @@
+"""Tests for BFS / Dijkstra traversal helpers."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.traversal import (
+    UNREACHED,
+    bfs_distances,
+    build_csr_matrix,
+    dijkstra_distances,
+)
+from tests.conftest import random_graph
+
+
+class TestBFS:
+    def test_path_distances(self, path4):
+        dist = bfs_distances(path4, 0)
+        assert dist.tolist() == [0, 1, 2, 3]
+
+    def test_max_depth_cap(self, path4):
+        dist = bfs_distances(path4, 0, max_depth=2)
+        assert dist.tolist() == [0, 1, 2, UNREACHED]
+
+    def test_depth_zero(self, path4):
+        dist = bfs_distances(path4, 1, max_depth=0)
+        assert dist.tolist() == [UNREACHED, 0, UNREACHED, UNREACHED]
+
+    def test_edge_mask_removes_edges(self, path4):
+        mask = np.array([True, False, True])
+        dist = bfs_distances(path4, 0, edge_mask=mask)
+        assert dist.tolist() == [0, 1, UNREACHED, UNREACHED]
+
+    def test_out_of_range_source(self, path4):
+        with pytest.raises(IndexError):
+            bfs_distances(path4, 10)
+
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(3)
+        graph = random_graph(15, 0.2, rng)
+        nx_graph = graph.to_networkx()
+        for source in (0, 7, 14):
+            expected = nx.single_source_shortest_path_length(nx_graph, source)
+            dist = bfs_distances(graph, source)
+            for node in range(graph.n_nodes):
+                if node in expected:
+                    assert dist[node] == expected[node]
+                else:
+                    assert dist[node] == UNREACHED
+
+
+class TestCSRMatrix:
+    def test_symmetric(self, two_triangles):
+        matrix = build_csr_matrix(two_triangles)
+        assert (matrix != matrix.T).nnz == 0
+
+    def test_default_unit_weights(self, path4):
+        matrix = build_csr_matrix(path4)
+        assert matrix.sum() == pytest.approx(2 * path4.n_edges)
+
+    def test_custom_weights(self, path4):
+        matrix = build_csr_matrix(path4, weights=np.array([1.0, 2.0, 3.0]))
+        assert matrix[0, 1] == pytest.approx(1.0)
+        assert matrix[1, 2] == pytest.approx(2.0)
+
+    def test_weight_shape_check(self, path4):
+        with pytest.raises(ValueError):
+            build_csr_matrix(path4, weights=np.ones(7))
+
+    def test_edge_mask(self, path4):
+        matrix = build_csr_matrix(path4, edge_mask=np.array([True, False, False]))
+        assert matrix.nnz == 2  # one edge, both directions
+
+
+class TestDijkstra:
+    def test_matches_networkx_log_weights(self):
+        rng = np.random.default_rng(11)
+        graph = random_graph(12, 0.3, rng, prob_low=0.2)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(graph.n_nodes))
+        for u, v, p in graph.edge_list():
+            nx_graph.add_edge(u, v, weight=-np.log(p))
+        dist = dijkstra_distances(graph, [0])
+        expected = nx.single_source_dijkstra_path_length(nx_graph, 0)
+        for node in range(graph.n_nodes):
+            if node in expected:
+                assert dist[0, node] == pytest.approx(expected[node])
+            else:
+                assert np.isinf(dist[0, node])
+
+    def test_multi_source_shape(self, two_triangles):
+        dist = dijkstra_distances(two_triangles, [0, 3])
+        assert dist.shape == (2, 6)
+        assert dist[0, 0] == 0.0
+        assert dist[1, 3] == 0.0
+
+    def test_limit_truncates(self, path4):
+        dist = dijkstra_distances(path4, [0], weights=np.ones(3), limit=1.5)
+        assert np.isinf(dist[0, 2])
+        assert np.isinf(dist[0, 3])

@@ -1,0 +1,128 @@
+"""Tests for possible-world sampling and block-diagonal bulk operations."""
+
+import numpy as np
+import pytest
+
+from repro.graph.components import connected_component_labels
+from repro.sampling.worlds import (
+    block_bfs_reached,
+    sample_edge_masks,
+    world_block_csr,
+    world_component_labels,
+)
+from tests.conftest import random_graph
+
+
+class TestSampleMasks:
+    def test_shape_and_dtype(self, two_triangles):
+        masks = sample_edge_masks(two_triangles.edge_prob, 10, rng=0)
+        assert masks.shape == (10, 7)
+        assert masks.dtype == bool
+
+    def test_zero_samples(self, two_triangles):
+        masks = sample_edge_masks(two_triangles.edge_prob, 0, rng=0)
+        assert masks.shape == (0, 7)
+
+    def test_negative_samples_rejected(self, two_triangles):
+        with pytest.raises(ValueError):
+            sample_edge_masks(two_triangles.edge_prob, -1, rng=0)
+
+    def test_certain_edges_always_present(self):
+        prob = np.array([1.0, 1.0])
+        masks = sample_edge_masks(prob, 50, rng=1)
+        assert masks.all()
+
+    def test_seeded_determinism(self, two_triangles):
+        a = sample_edge_masks(two_triangles.edge_prob, 20, rng=42)
+        b = sample_edge_masks(two_triangles.edge_prob, 20, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_frequency_matches_probability(self):
+        prob = np.array([0.2, 0.5, 0.9])
+        masks = sample_edge_masks(prob, 20000, rng=7)
+        freq = masks.mean(axis=0)
+        assert np.allclose(freq, prob, atol=0.02)
+
+
+class TestWorldLabels:
+    def test_each_row_is_world_components(self, two_triangles):
+        masks = sample_edge_masks(two_triangles.edge_prob, 25, rng=3)
+        labels = world_component_labels(two_triangles, masks)
+        assert labels.shape == (25, 6)
+        for i in range(25):
+            expected = connected_component_labels(
+                6, two_triangles.edge_src, two_triangles.edge_dst, mask=masks[i]
+            )
+            # Same partition up to label permutation.
+            mapping = {}
+            for a, b in zip(labels[i].tolist(), expected.tolist()):
+                assert mapping.setdefault(a, b) == b
+
+    def test_empty_batch(self, two_triangles):
+        labels = world_component_labels(two_triangles, np.zeros((0, 7), dtype=bool))
+        assert labels.shape == (0, 6)
+
+    def test_bad_mask_shape(self, two_triangles):
+        with pytest.raises(ValueError):
+            world_component_labels(two_triangles, np.zeros((2, 3), dtype=bool))
+
+
+class TestBlockCSR:
+    def test_block_structure(self, path4):
+        masks = np.array([[True, True, True], [True, False, False]])
+        block = world_block_csr(path4, masks)
+        assert block.shape == (8, 8)
+        dense = block.toarray()
+        # World 0 has all three path edges.
+        assert dense[0, 1] and dense[1, 2] and dense[2, 3]
+        # World 1 has only edge (0, 1), in its own block.
+        assert dense[4, 5]
+        assert not dense[5, 6] and not dense[6, 7]
+        # No edges cross blocks.
+        assert not dense[:4, 4:].any()
+
+    def test_symmetric(self, two_triangles):
+        masks = sample_edge_masks(two_triangles.edge_prob, 5, rng=0)
+        block = world_block_csr(two_triangles, masks)
+        assert (block != block.T).nnz == 0
+
+
+class TestBlockBFS:
+    def test_depth_progression(self, path4):
+        masks = np.ones((1, 3), dtype=bool)
+        block = world_block_csr(path4, masks)
+        for depth, expected in [
+            (0, [True, False, False, False]),
+            (1, [True, True, False, False]),
+            (2, [True, True, True, False]),
+            (3, [True, True, True, True]),
+            (5, [True, True, True, True]),
+        ]:
+            reached = block_bfs_reached(block, 4, 1, 0, depth)
+            assert reached[0].tolist() == expected
+
+    def test_per_world_independence(self, path4):
+        masks = np.array([[True, True, True], [False, True, True]])
+        block = world_block_csr(path4, masks)
+        reached = block_bfs_reached(block, 4, 2, 0, 3)
+        assert reached[0].tolist() == [True, True, True, True]
+        assert reached[1].tolist() == [True, False, False, False]
+
+    def test_matches_per_world_bfs(self):
+        rng = np.random.default_rng(9)
+        graph = random_graph(12, 0.25, rng)
+        masks = sample_edge_masks(graph.edge_prob, 20, rng=rng)
+        block = world_block_csr(graph, masks)
+        from repro.graph.traversal import bfs_distances
+
+        for source in (0, 5):
+            for depth in (1, 2, 4):
+                reached = block_bfs_reached(block, graph.n_nodes, 20, source, depth)
+                for i in range(20):
+                    dist = bfs_distances(graph, source, max_depth=depth, edge_mask=masks[i])
+                    assert np.array_equal(reached[i], dist >= 0)
+
+    def test_negative_depth_rejected(self, path4):
+        block = world_block_csr(path4, np.ones((1, 3), dtype=bool))
+        with pytest.raises(ValueError):
+            block_bfs_reached(block, 4, 1, 0, -1)
