@@ -28,6 +28,7 @@ from repro.core.mcp import mcp_clustering
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.exceptions import ReproError
 from repro.graph.io import read_uncertain_graph, write_uncertain_graph
+from repro.sampling.backends import BACKEND_NAMES
 from repro.sampling.oracle import MonteCarloOracle
 from repro.sampling.sizes import PracticalSchedule
 
@@ -65,7 +66,7 @@ def _cmd_estimate(args) -> int:
     graph = read_uncertain_graph(args.graph, merge=args.merge)
     u = graph.index_of(args.u) if args.u in graph.node_labels else graph.index_of(_coerce(args.u))
     v = graph.index_of(args.v) if args.v in graph.node_labels else graph.index_of(_coerce(args.v))
-    oracle = MonteCarloOracle(graph, seed=args.seed)
+    oracle = MonteCarloOracle(graph, seed=args.seed, backend=args.backend)
     oracle.ensure_samples(args.samples)
     estimate = oracle.connection(u, v, depth=args.depth)
     suffix = f" (paths <= {args.depth})" if args.depth else ""
@@ -85,13 +86,15 @@ def _cmd_cluster(args) -> int:
     schedule = PracticalSchedule(max_samples=args.samples)
     if args.algorithm == "mcp":
         result = mcp_clustering(
-            graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule
+            graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule,
+            backend=args.backend,
         )
         clustering = result.clustering
         print(f"mcp: k={args.k} min-prob~={result.min_prob_estimate:.3f} q={result.q_final:.4f}", file=sys.stderr)
     elif args.algorithm == "acp":
         result = acp_clustering(
-            graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule
+            graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule,
+            backend=args.backend,
         )
         clustering = result.clustering
         print(f"acp: k={args.k} avg-prob~={result.avg_prob_estimate:.3f}", file=sys.stderr)
@@ -144,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--depth", type=int, default=None)
     estimate.add_argument("--seed", type=int, default=0)
     estimate.add_argument("--merge", default="error")
+    estimate.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="auto",
+        help="world-labeling backend (auto picks by graph size)",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     cluster = sub.add_parser("cluster", help="cluster a .uel graph")
@@ -153,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--depth", type=int, default=None, help="path-length limit (mcp/acp)")
     cluster.add_argument("--inflation", type=float, default=2.0, help="mcl granularity")
     cluster.add_argument("--samples", type=int, default=1000, help="Monte Carlo budget")
+    cluster.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="auto",
+        help="world-labeling backend for mcp/acp (auto picks by graph size)",
+    )
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--merge", default="error")
     cluster.add_argument("-o", "--output", default=None, help="write TSV here (default stdout)")

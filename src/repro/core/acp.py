@@ -82,11 +82,13 @@ def acp_clustering(
     sample_schedule=None,
     chunk_size: int = 512,
     max_samples: int = 1_000_000,
+    backend="auto",
 ) -> ACPResult:
     """Cluster an uncertain graph maximizing average connection probability.
 
-    Parameters mirror :func:`repro.core.mcp.mcp_clustering`; see the
-    module docstring for the ``mode`` semantics.
+    Parameters mirror :func:`repro.core.mcp.mcp_clustering` (including
+    the ``backend`` world-labeling selection); see the module docstring
+    for the ``mode`` semantics.
 
     Examples
     --------
@@ -100,7 +102,9 @@ def acp_clustering(
     """
     if mode not in _MODES:
         raise ClusteringError(f"mode must be one of {_MODES}, got {mode!r}")
-    oracle = resolve_oracle(graph, oracle, seed=seed, chunk_size=chunk_size, max_samples=max_samples)
+    oracle = resolve_oracle(
+        graph, oracle, seed=seed, chunk_size=chunk_size, max_samples=max_samples, backend=backend
+    )
     n = oracle.n_nodes
     validate_common(k, n, gamma, eps, p_lower, depth)
     samples_for = resolve_sample_schedule(

@@ -92,6 +92,7 @@ def mcp_clustering(
     q_bar: float | None = None,
     chunk_size: int = 512,
     max_samples: int = 1_000_000,
+    backend="auto",
 ) -> MCPResult:
     """Cluster an uncertain graph maximizing minimum connection probability.
 
@@ -125,6 +126,12 @@ def mcp_clustering(
     alpha, q_bar:
         ``min-partial`` design parameters (defaults match Algorithm 2:
         ``alpha=1``, ``q_bar=q``).
+    backend:
+        World-labeling backend for a freshly built Monte Carlo oracle:
+        ``"auto"``, ``"scipy"``, ``"unionfind"`` or a
+        :class:`~repro.sampling.backends.WorldBackend` instance.
+        Results are bit-identical across backends for a fixed seed.
+        Ignored when ``oracle`` is given.
 
     Returns
     -------
@@ -138,7 +145,9 @@ def mcp_clustering(
     >>> result.clustering.covers_all
     True
     """
-    oracle = resolve_oracle(graph, oracle, seed=seed, chunk_size=chunk_size, max_samples=max_samples)
+    oracle = resolve_oracle(
+        graph, oracle, seed=seed, chunk_size=chunk_size, max_samples=max_samples, backend=backend
+    )
     n = oracle.n_nodes
     validate_common(k, n, gamma, eps, p_lower, depth)
     samples_for = resolve_sample_schedule(
@@ -175,18 +184,20 @@ def mcp_clustering(
     best = None
     q_success = None
     q_fail = None
+    last = None
     for q in guesses:
-        result = run_guess(q)
-        if result.covers_all:
-            best = result
+        last = run_guess(q)
+        if last.covers_all:
+            best = last
             q_success = q
             break
         q_fail = q
+    if last is None:  # pragma: no cover - resolve_guess_schedule rejects empty schedules
+        raise ClusteringError("the guess schedule produced no thresholds")
 
     if best is None:
         # Bottomed out at p_lower without covering: more than k "reliable
         # islands" at this floor.  Return a completed best effort.
-        last = result
         clustering = complete_clustering(last.clustering, last.center_rows)
         return MCPResult(
             clustering=clustering,

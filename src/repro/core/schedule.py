@@ -64,7 +64,13 @@ def resolve_guess_schedule(
     gamma: float,
     p_lower: float,
 ) -> list[float]:
-    """Materialize a guess schedule from a name or an explicit sequence."""
+    """Materialize a guess schedule from a name or an explicit sequence.
+
+    The result is guaranteed non-empty with every threshold finite, in
+    ``(0, 1]`` and strictly decreasing — the invariants the MCP/ACP
+    guess loops rely on (an empty schedule would leave them with no
+    clustering to return).
+    """
     if isinstance(schedule, str):
         if schedule == "geometric":
             return geometric_guesses(gamma, p_lower)
@@ -73,9 +79,20 @@ def resolve_guess_schedule(
         raise ClusteringError(
             f"unknown schedule {schedule!r}; expected 'geometric', 'doubling' or a sequence"
         )
-    guesses = [float(q) for q in schedule]
+    try:
+        guesses = [float(q) for q in schedule]
+    except (TypeError, ValueError):
+        raise ClusteringError(
+            f"guess_schedule must be 'geometric', 'doubling' or an iterable of "
+            f"numeric thresholds, got {schedule!r}"
+        ) from None
     if not guesses:
-        raise ClusteringError("an explicit guess schedule cannot be empty")
+        raise ClusteringError(
+            "an explicit guess schedule cannot be empty; the guess loop needs "
+            "at least one threshold"
+        )
+    if any(not math.isfinite(q) for q in guesses):
+        raise ClusteringError("guesses must be finite")
     if any(not 0 < q <= 1 for q in guesses):
         raise ClusteringError("guesses must lie in (0, 1]")
     if any(b >= a for a, b in zip(guesses, guesses[1:])):

@@ -37,6 +37,9 @@ class ExperimentScale:
     table2_depths: tuple[int, ...]
     table2_samples: int
     figure4_k_fractions: tuple[float, ...]
+    #: World-labeling backend for every Monte Carlo oracle the harness
+    #: builds ("auto" picks by graph size; see repro.sampling.backends).
+    oracle_backend: str = "auto"
 
     def __post_init__(self):
         if not 0 < self.ppi_scale <= 1:

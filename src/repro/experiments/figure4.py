@@ -65,6 +65,7 @@ def run(
             seed=int(rng.integers(2**31)),
             sample_schedule=schedule,
             chunk_size=128,
+            backend=scale.oracle_backend,
         )
         table.add_row(
             algorithm="mcp",

@@ -121,7 +121,10 @@ def run_quality_suite(
         )
         report(f"[{name}] n={graph.n_nodes} m={graph.n_edges}")
 
-        eval_oracle = MonteCarloOracle(graph, seed=int(rng.integers(2**31)), chunk_size=64)
+        eval_oracle = MonteCarloOracle(
+            graph, seed=int(rng.integers(2**31)), chunk_size=64,
+            backend=scale.oracle_backend,
+        )
         eval_oracle.ensure_samples(scale.metric_samples)
 
         inflations = (
@@ -170,6 +173,7 @@ def run_quality_suite(
                 seed=int(rng.integers(2**31)),
                 sample_schedule=schedule,
                 chunk_size=128,
+                backend=scale.oracle_backend,
             )
             note = "" if mcp.covers_all else "partial at p_lower"
             result.records.append(
@@ -185,6 +189,7 @@ def run_quality_suite(
                 seed=int(rng.integers(2**31)),
                 sample_schedule=schedule,
                 chunk_size=128,
+                backend=scale.oracle_backend,
             )
             result.records.append(
                 _score(

@@ -60,7 +60,10 @@ def run(scale: str | ExperimentScale = "small", *, seed: int = 0, progress=None)
             start = time.perf_counter()
             # A shared oracle would also work, but a per-run oracle keeps
             # runs independent, as in the paper's repeated experiments.
-            oracle = MonteCarloOracle(graph, seed=int(rng.integers(2**31)), chunk_size=64)
+            oracle = MonteCarloOracle(
+                graph, seed=int(rng.integers(2**31)), chunk_size=64,
+                backend=scale.oracle_backend,
+            )
             result = runner(
                 None,
                 k,

@@ -1,5 +1,12 @@
 """Possible-world sampling and connection-probability oracles."""
 
+from repro.sampling.backends import (
+    BACKEND_NAMES,
+    ScipyWorldBackend,
+    UnionFindWorldBackend,
+    WorldBackend,
+    resolve_backend,
+)
 from repro.sampling.worlds import (
     sample_edge_masks,
     world_component_labels,
@@ -22,6 +29,11 @@ from repro.sampling.representative import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ScipyWorldBackend",
+    "UnionFindWorldBackend",
+    "WorldBackend",
+    "resolve_backend",
     "average_degree_representative",
     "degree_discrepancy",
     "most_probable_world",

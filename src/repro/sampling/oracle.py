@@ -31,11 +31,11 @@ import scipy.sparse as sp
 
 from repro.exceptions import OracleError
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.sampling.backends import WorldBackend, resolve_backend
 from repro.sampling.worlds import (
     block_bfs_reached,
     sample_edge_masks,
     world_block_csr,
-    world_component_labels,
 )
 from repro.utils.rng import ensure_rng
 
@@ -55,6 +55,14 @@ class MonteCarloOracle:
         Hard budget; :meth:`ensure_samples` raises :class:`OracleError`
         beyond it.  Guards against schedules running away on graphs
         whose optimum is genuinely tiny.
+    backend:
+        World-labeling backend: ``"auto"`` (default; picks by graph
+        size), ``"scipy"``, ``"unionfind"``, or a
+        :class:`~repro.sampling.backends.WorldBackend` instance.  The
+        RNG stream is consumed identically under every backend (masks
+        are sampled once; labeling is deterministic given the masks),
+        so estimates and clusterings are bit-identical across backends
+        for a fixed seed.
 
     Examples
     --------
@@ -63,6 +71,8 @@ class MonteCarloOracle:
     >>> oracle.ensure_samples(2000)
     >>> abs(oracle.connection(0, 1) - 0.5) < 0.05
     True
+    >>> MonteCarloOracle(g, seed=7, backend="unionfind").backend_name
+    'unionfind'
     """
 
     def __init__(
@@ -72,6 +82,7 @@ class MonteCarloOracle:
         seed=None,
         chunk_size: int = 512,
         max_samples: int = 1_000_000,
+        backend="auto",
     ):
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
@@ -81,6 +92,7 @@ class MonteCarloOracle:
         self._rng = ensure_rng(seed)
         self._chunk_size = int(chunk_size)
         self._max_samples = int(max_samples)
+        self._backend = resolve_backend(backend, graph)
         self._mask_chunks: list[np.ndarray] = []
         self._label_chunks: list[np.ndarray] = []
         self._csr_chunks: list[sp.csr_matrix | None] = []
@@ -107,8 +119,22 @@ class MonteCarloOracle:
     def max_samples(self) -> int:
         return self._max_samples
 
+    @property
+    def backend(self) -> WorldBackend:
+        """The world-labeling backend in use."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
     def ensure_samples(self, r: int) -> None:
-        """Grow the pool to at least ``r`` worlds (never shrinks)."""
+        """Grow the pool to at least ``r`` worlds (never shrinks).
+
+        Progressive-sampling invariant: chunks already in the pool are
+        never re-sampled or re-labeled — only the difference between
+        ``r`` and the current pool size is drawn.
+        """
         if r < 0:
             raise ValueError(f"r must be non-negative, got {r}")
         if r > self._max_samples:
@@ -120,7 +146,7 @@ class MonteCarloOracle:
             count = min(self._chunk_size, r - self._n_samples)
             masks = sample_edge_masks(self._graph.edge_prob, count, self._rng)
             self._mask_chunks.append(masks)
-            self._label_chunks.append(world_component_labels(self._graph, masks))
+            self._label_chunks.append(self._backend.component_labels(self._graph, masks))
             self._csr_chunks.append(None)
             self._n_samples += count
 
@@ -128,7 +154,9 @@ class MonteCarloOracle:
     def component_labels(self) -> np.ndarray:
         """Component labels of every sampled world, shape ``(r, n)``.
 
-        Labels are comparable only within a row.  Used by the AVPR
+        Labels follow the canonical backend contract — entry ``(i, v)``
+        is the smallest node index in ``v``'s component of world ``i``
+        — so they are identical across backends.  Used by the AVPR
         metrics, which count same-component pairs per world.
         """
         if not self._label_chunks:
@@ -229,5 +257,6 @@ class MonteCarloOracle:
     def __repr__(self) -> str:
         return (
             f"MonteCarloOracle(n_nodes={self._graph.n_nodes}, "
-            f"num_samples={self._n_samples}, max_samples={self._max_samples})"
+            f"num_samples={self._n_samples}, max_samples={self._max_samples}, "
+            f"backend={self._backend.name!r})"
         )

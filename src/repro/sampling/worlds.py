@@ -8,20 +8,24 @@ two ways:
 * a single **block-diagonal** sparse adjacency matrix with ``r * n``
   vertices, world ``i`` occupying the vertex range ``[i*n, (i+1)*n)``.
 
-The block-diagonal form is the workhorse: one C-level
-``connected_components`` call labels *every* world at once, and one
-sparse mat-vec advances a BFS frontier *in every world simultaneously*.
-This substitutes for the OpenMP parallel sampler in the authors' C++
-implementation.
+Component labeling is pluggable (:mod:`repro.sampling.backends`): the
+``scipy`` backend labels every world with one C-level
+``connected_components`` call over the block-diagonal matrix, while the
+``unionfind`` backend runs a vectorized union-find that never builds
+the matrix.  The block-diagonal CSR form remains the workhorse of
+depth-limited queries: one sparse gather advances a BFS frontier *in
+every world simultaneously*.  This substitutes for the OpenMP parallel
+sampler in the authors' C++ implementation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import scipy.sparse as sp
-from scipy.sparse import csgraph
 
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.sampling.backends import resolve_backend
+from repro.sampling.backends.base import block_edge_endpoints
 from repro.utils.rng import ensure_rng
 
 
@@ -34,36 +38,21 @@ def sample_edge_masks(edge_prob: np.ndarray, r: int, rng=None) -> np.ndarray:
     return rng.random((r, len(edge_prob))) < edge_prob
 
 
-def _block_edges(graph: UncertainGraph, masks: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
-    """Endpoints of all sampled edges, shifted into their world's block."""
-    masks = np.asarray(masks, dtype=bool)
-    if masks.ndim != 2 or masks.shape[1] != graph.n_edges:
-        raise ValueError(
-            f"masks must have shape (r, {graph.n_edges}), got {masks.shape}"
-        )
-    r = masks.shape[0]
-    world_idx, edge_idx = np.nonzero(masks)
-    offset = world_idx.astype(np.int64) * graph.n_nodes
-    bsrc = graph.edge_src[edge_idx].astype(np.int64) + offset
-    bdst = graph.edge_dst[edge_idx].astype(np.int64) + offset
-    return bsrc, bdst, r
-
-
-def world_component_labels(graph: UncertainGraph, masks: np.ndarray) -> np.ndarray:
+def world_component_labels(
+    graph: UncertainGraph, masks: np.ndarray, backend=None
+) -> np.ndarray:
     """Component labels for each sampled world.
 
-    Returns an ``(r, n)`` int32 array; labels are only meaningful for
-    equality comparisons *within* a row.
+    Returns an ``(r, n)`` int32 array in the canonical form shared by
+    all labeling backends: ``labels[i, v]`` is the smallest node index
+    in ``v``'s component of world ``i`` (so labels are directly
+    comparable across backends, not just within a row).
+
+    ``backend`` accepts anything :func:`repro.sampling.backends.resolve_backend`
+    does: ``None``/``"auto"``, ``"scipy"``, ``"unionfind"``, or a
+    :class:`~repro.sampling.backends.WorldBackend` instance.
     """
-    bsrc, bdst, r = _block_edges(graph, masks)
-    n = graph.n_nodes
-    if r == 0:
-        return np.empty((0, n), dtype=np.int32)
-    total = r * n
-    data = np.ones(len(bsrc), dtype=np.int8)
-    matrix = sp.coo_matrix((data, (bsrc, bdst)), shape=(total, total))
-    _, labels = csgraph.connected_components(matrix, directed=False)
-    return labels.astype(np.int32).reshape(r, n)
+    return resolve_backend(backend, graph).component_labels(graph, masks)
 
 
 def world_block_csr(graph: UncertainGraph, masks: np.ndarray) -> sp.csr_matrix:
@@ -72,7 +61,7 @@ def world_block_csr(graph: UncertainGraph, masks: np.ndarray) -> sp.csr_matrix:
     Shape ``(r*n, r*n)``; world ``i`` occupies rows/cols
     ``[i*n, (i+1)*n)``.  Data entries are 1 (int8).
     """
-    bsrc, bdst, r = _block_edges(graph, masks)
+    bsrc, bdst, r = block_edge_endpoints(graph, masks)
     total = r * graph.n_nodes
     data = np.ones(2 * len(bsrc), dtype=np.int8)
     matrix = sp.coo_matrix(

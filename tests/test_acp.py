@@ -29,6 +29,10 @@ class TestBasics:
         with pytest.raises(ClusteringError, match="mode"):
             acp_clustering(two_triangles, k=2, mode="fast")
 
+    def test_empty_guess_schedule_rejected(self, two_triangles):
+        with pytest.raises(ClusteringError, match="empty"):
+            acp_clustering(two_triangles, k=2, guess_schedule=[])
+
     def test_both_modes_run(self, two_triangles_oracle):
         practical = acp_clustering(None, 2, oracle=two_triangles_oracle, mode="practical")
         theoretical = acp_clustering(None, 2, oracle=two_triangles_oracle, mode="theoretical")

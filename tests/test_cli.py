@@ -76,6 +76,27 @@ class TestCluster:
         out = capsys.readouterr().out
         assert out.startswith("node\tcluster\tcenter")
 
+    def test_backend_flag_is_output_invariant(self, graph_file, capsys):
+        outputs = []
+        for backend in ("scipy", "unionfind"):
+            assert main(
+                ["cluster", graph_file, "--k", "2", "--samples", "200",
+                 "--backend", backend]
+            ) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_unknown_backend_rejected(self, graph_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["cluster", graph_file, "--backend", "duckdb"])
+
+    def test_estimate_backend_flag(self, graph_file, capsys):
+        assert main(
+            ["estimate", graph_file, "0", "1", "--samples", "500",
+             "--backend", "unionfind"]
+        ) == 0
+        assert "Pr(0 ~ 1)" in capsys.readouterr().out
+
     def test_invalid_k_reports_error(self, graph_file, capsys):
         assert main(["cluster", graph_file, "--k", "99"]) == 2
         assert "error" in capsys.readouterr().err

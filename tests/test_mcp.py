@@ -40,6 +40,14 @@ class TestBasics:
         with pytest.raises(ClusteringError):
             mcp_clustering(two_triangles, k=2, gamma=0.0)
 
+    def test_empty_guess_schedule_rejected(self, two_triangles):
+        # Regression: must be a clean validation error, never an
+        # UnboundLocalError from the post-loop bookkeeping.
+        with pytest.raises(ClusteringError, match="empty"):
+            mcp_clustering(two_triangles, k=2, guess_schedule=[])
+        with pytest.raises(ClusteringError, match="empty"):
+            mcp_clustering(two_triangles, k=2, guess_schedule=iter(()))
+
     def test_deterministic_with_seed(self, two_triangles):
         a = mcp_clustering(two_triangles, k=2, seed=9)
         b = mcp_clustering(two_triangles, k=2, seed=9)

@@ -79,6 +79,26 @@ class TestResolve:
         with pytest.raises(ClusteringError):
             resolve_guess_schedule([], 0.1, 0.01)
 
+    def test_rejects_empty_iterator(self):
+        with pytest.raises(ClusteringError, match="cannot be empty"):
+            resolve_guess_schedule(iter(()), 0.1, 0.01)
+
+    def test_rejects_non_iterable(self):
+        with pytest.raises(ClusteringError, match="iterable"):
+            resolve_guess_schedule(0.5, 0.1, 0.01)
+
+    def test_rejects_non_numeric_elements(self):
+        with pytest.raises(ClusteringError, match="numeric"):
+            resolve_guess_schedule(["oops"], 0.1, 0.01)
+        with pytest.raises(ClusteringError, match="numeric"):
+            resolve_guess_schedule([0.5, None], 0.1, 0.01)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ClusteringError, match="finite"):
+            resolve_guess_schedule([float("nan")], 0.1, 0.01)
+        with pytest.raises(ClusteringError):
+            resolve_guess_schedule([float("inf")], 0.1, 0.01)
+
     def test_rejects_out_of_range(self):
         with pytest.raises(ClusteringError):
             resolve_guess_schedule([1.5], 0.1, 0.01)
