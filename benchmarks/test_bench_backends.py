@@ -23,6 +23,7 @@ unit for further gains.
 import numpy as np
 import pytest
 
+from benchmarks.record import record_pytest_benchmark
 from repro.datasets.synthetic import gnm_uncertain
 from repro.sampling import MonteCarloOracle
 from repro.sampling.backends import BACKENDS
@@ -43,32 +44,48 @@ def _substrate(name):
 
 @pytest.fixture(scope="module", params=["sparse1500", "denser1000"])
 def substrate(request):
-    return _substrate(request.param)
+    return request.param, _substrate(request.param)
 
 
 @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
 def test_ensure_samples_throughput(benchmark, substrate, backend_name):
+    substrate_name, graph = substrate
+
     def run():
-        oracle = MonteCarloOracle(
-            substrate, seed=1, chunk_size=R, backend=backend_name
-        )
+        oracle = MonteCarloOracle(graph, seed=1, chunk_size=R, backend=backend_name)
         oracle.ensure_samples(R)
         return oracle
 
     oracle = benchmark(run)
     assert oracle.num_samples == R
+    record_pytest_benchmark(
+        "backends",
+        f"ensure_samples/{substrate_name}/{backend_name}",
+        benchmark,
+        items=R,
+        meta={"backend": backend_name, "substrate": substrate_name, "r": R},
+    )
 
 
 @pytest.mark.parametrize("backend_name", BACKEND_NAMES)
 def test_labeling_kernel(benchmark, substrate, backend_name):
-    masks = sample_edge_masks(substrate.edge_prob, R, rng=1)
+    substrate_name, graph = substrate
+    masks = sample_edge_masks(graph.edge_prob, R, rng=1)
     backend = BACKENDS[backend_name]()
-    labels = benchmark(backend.component_labels, substrate, masks)
-    assert labels.shape == (R, substrate.n_nodes)
+    labels = benchmark(backend.component_labels, graph, masks)
+    assert labels.shape == (R, graph.n_nodes)
+    record_pytest_benchmark(
+        "backends",
+        f"labeling_kernel/{substrate_name}/{backend_name}",
+        benchmark,
+        items=R,
+        meta={"backend": backend_name, "substrate": substrate_name, "r": R},
+    )
 
 
 def test_backends_bit_identical(substrate):
     """The equivalence the suite pins, re-checked on the bench substrate."""
-    masks = sample_edge_masks(substrate.edge_prob, 64, rng=3)
-    outputs = [BACKENDS[name]().component_labels(substrate, masks) for name in BACKEND_NAMES]
+    _, graph = substrate
+    masks = sample_edge_masks(graph.edge_prob, 64, rng=3)
+    outputs = [BACKENDS[name]().component_labels(graph, masks) for name in BACKEND_NAMES]
     assert np.array_equal(outputs[0], outputs[1])

@@ -9,8 +9,6 @@ compute exactly).  This example shows the (eps, delta) sample-size bound
 Run:  python examples/reliability_estimation.py
 """
 
-import numpy as np
-
 from repro.datasets import planted_partition
 from repro.sampling import (
     ExactOracle,

@@ -30,6 +30,7 @@ from repro.exceptions import ReproError
 from repro.graph.io import read_uncertain_graph, write_uncertain_graph
 from repro.sampling.backends import BACKEND_NAMES
 from repro.sampling.oracle import MonteCarloOracle
+from repro.sampling.parallel import validate_workers_spec
 from repro.sampling.sizes import PracticalSchedule
 
 _CLUSTER_ALGORITHMS = ("mcp", "acp", "mcl", "gmm", "kpt")
@@ -66,7 +67,9 @@ def _cmd_estimate(args) -> int:
     graph = read_uncertain_graph(args.graph, merge=args.merge)
     u = graph.index_of(args.u) if args.u in graph.node_labels else graph.index_of(_coerce(args.u))
     v = graph.index_of(args.v) if args.v in graph.node_labels else graph.index_of(_coerce(args.v))
-    oracle = MonteCarloOracle(graph, seed=args.seed, backend=args.backend)
+    oracle = MonteCarloOracle(
+        graph, seed=args.seed, backend=args.backend, workers=args.workers
+    )
     oracle.ensure_samples(args.samples)
     estimate = oracle.connection(u, v, depth=args.depth)
     suffix = f" (paths <= {args.depth})" if args.depth else ""
@@ -81,20 +84,32 @@ def _coerce(token: str):
         return token
 
 
+def _parse_workers(token: str):
+    """argparse type for ``--workers``: ``auto`` or a positive int."""
+    try:
+        spec = int(token)
+    except ValueError:
+        spec = token
+    try:
+        return validate_workers_spec(spec)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _cmd_cluster(args) -> int:
     graph = read_uncertain_graph(args.graph, merge=args.merge)
     schedule = PracticalSchedule(max_samples=args.samples)
     if args.algorithm == "mcp":
         result = mcp_clustering(
             graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule,
-            backend=args.backend,
+            backend=args.backend, workers=args.workers,
         )
         clustering = result.clustering
         print(f"mcp: k={args.k} min-prob~={result.min_prob_estimate:.3f} q={result.q_final:.4f}", file=sys.stderr)
     elif args.algorithm == "acp":
         result = acp_clustering(
             graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule,
-            backend=args.backend,
+            backend=args.backend, workers=args.workers,
         )
         clustering = result.clustering
         print(f"acp: k={args.k} avg-prob~={result.avg_prob_estimate:.3f}", file=sys.stderr)
@@ -151,6 +166,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=BACKEND_NAMES, default="auto",
         help="world-labeling backend (auto picks by graph size)",
     )
+    estimate.add_argument(
+        "--workers", type=_parse_workers, default="auto", metavar="N|auto",
+        help="sampling worker processes (auto = min(cpu count, chunk heuristic); "
+        "1 forces the serial path; results are identical either way)",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     cluster = sub.add_parser("cluster", help="cluster a .uel graph")
@@ -163,6 +183,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--backend", choices=BACKEND_NAMES, default="auto",
         help="world-labeling backend for mcp/acp (auto picks by graph size)",
+    )
+    cluster.add_argument(
+        "--workers", type=_parse_workers, default="auto", metavar="N|auto",
+        help="sampling worker processes for mcp/acp (auto = min(cpu count, "
+        "chunk heuristic); 1 forces the serial path)",
     )
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--merge", default="error")

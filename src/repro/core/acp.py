@@ -29,8 +29,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.clustering import Clustering, complete_clustering
 from repro.core.common import resolve_oracle, resolve_sample_schedule, validate_common
 from repro.core.mcp import GuessRecord, _is_exact
@@ -83,12 +81,14 @@ def acp_clustering(
     chunk_size: int = 512,
     max_samples: int = 1_000_000,
     backend="auto",
+    workers=1,
 ) -> ACPResult:
     """Cluster an uncertain graph maximizing average connection probability.
 
     Parameters mirror :func:`repro.core.mcp.mcp_clustering` (including
-    the ``backend`` world-labeling selection); see the module docstring
-    for the ``mode`` semantics.
+    the ``backend`` world-labeling selection and the ``workers``
+    sampling parallelism); see the module docstring for the ``mode``
+    semantics.
 
     Examples
     --------
@@ -103,7 +103,8 @@ def acp_clustering(
     if mode not in _MODES:
         raise ClusteringError(f"mode must be one of {_MODES}, got {mode!r}")
     oracle = resolve_oracle(
-        graph, oracle, seed=seed, chunk_size=chunk_size, max_samples=max_samples, backend=backend
+        graph, oracle, seed=seed, chunk_size=chunk_size, max_samples=max_samples,
+        backend=backend, workers=workers,
     )
     n = oracle.n_nodes
     validate_common(k, n, gamma, eps, p_lower, depth)

@@ -22,19 +22,27 @@ def resolve_oracle(
     chunk_size: int,
     max_samples: int,
     backend="auto",
+    workers=1,
 ):
     """Return the oracle to use: the caller's, or a fresh Monte Carlo one.
 
-    ``backend`` selects the world-labeling backend of a freshly built
-    :class:`MonteCarloOracle` (see :mod:`repro.sampling.backends`); it
-    is ignored when the caller supplies an ``oracle``.
+    ``backend`` selects the world-labeling backend and ``workers`` the
+    sampling parallelism of a freshly built :class:`MonteCarloOracle`
+    (see :mod:`repro.sampling.backends` and
+    :mod:`repro.sampling.parallel`); both are ignored when the caller
+    supplies an ``oracle``.
     """
     if oracle is not None:
         return oracle
     if graph is None:
         raise ClusteringError("either a graph or an oracle must be provided")
     return MonteCarloOracle(
-        graph, seed=seed, chunk_size=chunk_size, max_samples=max_samples, backend=backend
+        graph,
+        seed=seed,
+        chunk_size=chunk_size,
+        max_samples=max_samples,
+        backend=backend,
+        workers=workers,
     )
 
 

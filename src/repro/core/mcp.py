@@ -22,8 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.clustering import Clustering, complete_clustering
 from repro.core.common import resolve_oracle, resolve_sample_schedule, validate_common
 from repro.core.partial import min_partial
@@ -93,6 +91,7 @@ def mcp_clustering(
     chunk_size: int = 512,
     max_samples: int = 1_000_000,
     backend="auto",
+    workers=1,
 ) -> MCPResult:
     """Cluster an uncertain graph maximizing minimum connection probability.
 
@@ -132,6 +131,11 @@ def mcp_clustering(
         :class:`~repro.sampling.backends.WorldBackend` instance.
         Results are bit-identical across backends for a fixed seed.
         Ignored when ``oracle`` is given.
+    workers:
+        Sampling parallelism of a freshly built oracle: ``1`` (serial),
+        a positive int, or ``"auto"`` (see
+        :mod:`repro.sampling.parallel`).  Results are bit-identical
+        under every worker count.  Ignored when ``oracle`` is given.
 
     Returns
     -------
@@ -146,7 +150,8 @@ def mcp_clustering(
     True
     """
     oracle = resolve_oracle(
-        graph, oracle, seed=seed, chunk_size=chunk_size, max_samples=max_samples, backend=backend
+        graph, oracle, seed=seed, chunk_size=chunk_size, max_samples=max_samples,
+        backend=backend, workers=workers,
     )
     n = oracle.n_nodes
     validate_common(k, n, gamma, eps, p_lower, depth)

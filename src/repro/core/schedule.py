@@ -16,7 +16,7 @@ are provided:
 from __future__ import annotations
 
 import math
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable
 
 from repro.exceptions import ClusteringError
 

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, OracleError
+from repro.sampling.parallel import validate_workers_spec
 
 
 @dataclass(frozen=True)
@@ -40,12 +41,22 @@ class ExperimentScale:
     #: World-labeling backend for every Monte Carlo oracle the harness
     #: builds ("auto" picks by graph size; see repro.sampling.backends).
     oracle_backend: str = "auto"
+    #: Sampling worker processes for every Monte Carlo oracle the
+    #: harness builds: "auto" (min of cpu count and the chunk-size
+    #: heuristic — see repro.sampling.parallel.resolve_workers) or a
+    #: positive int; 1 forces the serial path.  Results are
+    #: bit-identical under every setting.
+    oracle_workers: int | str = "auto"
 
     def __post_init__(self):
         if not 0 < self.ppi_scale <= 1:
             raise ExperimentError(f"ppi_scale must be in (0, 1], got {self.ppi_scale}")
         if self.metric_samples < 10:
             raise ExperimentError("metric_samples must be at least 10")
+        try:
+            validate_workers_spec(self.oracle_workers)
+        except OracleError as error:
+            raise ExperimentError(f"oracle_workers: {error}") from None
 
 
 SCALES: dict[str, ExperimentScale] = {

@@ -66,6 +66,7 @@ def run(
             sample_schedule=schedule,
             chunk_size=128,
             backend=scale.oracle_backend,
+            workers=scale.oracle_workers,
         )
         table.add_row(
             algorithm="mcp",

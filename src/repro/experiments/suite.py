@@ -16,8 +16,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.baselines.gmm import gmm_clustering
 from repro.baselines.mcl import mcl_clustering
 from repro.core.acp import acp_clustering
@@ -124,6 +122,7 @@ def run_quality_suite(
         eval_oracle = MonteCarloOracle(
             graph, seed=int(rng.integers(2**31)), chunk_size=64,
             backend=scale.oracle_backend,
+            workers=scale.oracle_workers,
         )
         eval_oracle.ensure_samples(scale.metric_samples)
 
@@ -174,6 +173,7 @@ def run_quality_suite(
                 sample_schedule=schedule,
                 chunk_size=128,
                 backend=scale.oracle_backend,
+                workers=scale.oracle_workers,
             )
             note = "" if mcp.covers_all else "partial at p_lower"
             result.records.append(
@@ -190,6 +190,7 @@ def run_quality_suite(
                 sample_schedule=schedule,
                 chunk_size=128,
                 backend=scale.oracle_backend,
+                workers=scale.oracle_workers,
             )
             result.records.append(
                 _score(

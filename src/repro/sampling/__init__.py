@@ -7,6 +7,15 @@ from repro.sampling.backends import (
     WorldBackend,
     resolve_backend,
 )
+from repro.sampling.parallel import (
+    DEFAULT_SHARD_WORLDS,
+    ParallelSampler,
+    ensure_seed_sequence,
+    resolve_workers,
+    sample_shard_masks,
+    shard_plan,
+    shard_seed_sequence,
+)
 from repro.sampling.worlds import (
     sample_edge_masks,
     world_component_labels,
@@ -30,6 +39,13 @@ from repro.sampling.representative import (
 
 __all__ = [
     "BACKEND_NAMES",
+    "DEFAULT_SHARD_WORLDS",
+    "ParallelSampler",
+    "ensure_seed_sequence",
+    "resolve_workers",
+    "sample_shard_masks",
+    "shard_plan",
+    "shard_seed_sequence",
     "ScipyWorldBackend",
     "UnionFindWorldBackend",
     "WorldBackend",

@@ -32,12 +32,11 @@ import scipy.sparse as sp
 from repro.exceptions import OracleError
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.sampling.backends import WorldBackend, resolve_backend
+from repro.sampling.parallel import ParallelSampler, ensure_seed_sequence
 from repro.sampling.worlds import (
     block_bfs_reached,
-    sample_edge_masks,
     world_block_csr,
 )
-from repro.utils.rng import ensure_rng
 
 
 class MonteCarloOracle:
@@ -48,21 +47,31 @@ class MonteCarloOracle:
     graph:
         The uncertain graph to sample.
     seed:
-        Seed / generator for world sampling.
+        Seed for world sampling: ``None``, an ``int``, a
+        :class:`numpy.random.SeedSequence`, or a generator (one integer
+        is drawn from it to derive the root sequence).  World ``i``'s
+        edge mask is a pure function of the seed and ``i`` (sharded
+        streams, :mod:`repro.sampling.parallel`), so the pool content
+        is independent of the chunking pattern and the worker count.
     chunk_size:
         Worlds sampled per growth step (amortizes the labelling cost).
     max_samples:
         Hard budget; :meth:`ensure_samples` raises :class:`OracleError`
-        beyond it.  Guards against schedules running away on graphs
-        whose optimum is genuinely tiny.
+        beyond it *before* drawing anything.  Guards against schedules
+        running away on graphs whose optimum is genuinely tiny.
     backend:
         World-labeling backend: ``"auto"`` (default; picks by graph
         size), ``"scipy"``, ``"unionfind"``, or a
         :class:`~repro.sampling.backends.WorldBackend` instance.  The
-        RNG stream is consumed identically under every backend (masks
-        are sampled once; labeling is deterministic given the masks),
-        so estimates and clusterings are bit-identical across backends
-        for a fixed seed.
+        masks are sampled independently of the backend, so estimates
+        and clusterings are bit-identical across backends for a fixed
+        seed.
+    workers:
+        Worker processes for chunk sampling: ``1`` (default, serial),
+        a positive int, or ``"auto"`` (``min(cpu_count, ceil(chunk_size
+        / shard))``).  Results are bit-identical under every worker
+        count; custom backend instances and broken pools fall back to
+        the serial path.
 
     Examples
     --------
@@ -83,16 +92,20 @@ class MonteCarloOracle:
         chunk_size: int = 512,
         max_samples: int = 1_000_000,
         backend="auto",
+        workers=1,
     ):
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         if max_samples <= 0:
             raise ValueError(f"max_samples must be positive, got {max_samples}")
         self._graph = graph
-        self._rng = ensure_rng(seed)
+        self._seed_seq = ensure_seed_sequence(seed)
         self._chunk_size = int(chunk_size)
         self._max_samples = int(max_samples)
         self._backend = resolve_backend(backend, graph)
+        self._sampler = ParallelSampler(
+            graph, backend=self._backend, workers=workers, chunk_size=self._chunk_size
+        )
         self._mask_chunks: list[np.ndarray] = []
         self._label_chunks: list[np.ndarray] = []
         self._csr_chunks: list[sp.csr_matrix | None] = []
@@ -128,12 +141,24 @@ class MonteCarloOracle:
     def backend_name(self) -> str:
         return self._backend.name
 
+    @property
+    def workers(self) -> int:
+        """Resolved worker-process count (1 means the serial path)."""
+        return self._sampler.workers
+
     def ensure_samples(self, r: int) -> None:
         """Grow the pool to at least ``r`` worlds (never shrinks).
 
         Progressive-sampling invariant: chunks already in the pool are
         never re-sampled or re-labeled — only the difference between
         ``r`` and the current pool size is drawn.
+
+        Raises
+        ------
+        OracleError
+            If ``r`` exceeds ``max_samples``.  The check runs before
+            any chunk is drawn, so a rejected request leaves the pool
+            exactly as it was.
         """
         if r < 0:
             raise ValueError(f"r must be non-negative, got {r}")
@@ -144,11 +169,23 @@ class MonteCarloOracle:
             )
         while self._n_samples < r:
             count = min(self._chunk_size, r - self._n_samples)
-            masks = sample_edge_masks(self._graph.edge_prob, count, self._rng)
+            masks, labels = self._sampler.sample_chunk(
+                self._seed_seq, self._n_samples, count
+            )
             self._mask_chunks.append(masks)
-            self._label_chunks.append(self._backend.component_labels(self._graph, masks))
+            self._label_chunks.append(labels)
             self._csr_chunks.append(None)
             self._n_samples += count
+
+    def close(self) -> None:
+        """Release the sampler's worker pool (serial path: no-op)."""
+        self._sampler.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
 
     @property
     def component_labels(self) -> np.ndarray:
@@ -258,5 +295,5 @@ class MonteCarloOracle:
         return (
             f"MonteCarloOracle(n_nodes={self._graph.n_nodes}, "
             f"num_samples={self._n_samples}, max_samples={self._max_samples}, "
-            f"backend={self._backend.name!r})"
+            f"backend={self._backend.name!r}, workers={self.workers})"
         )

@@ -1,0 +1,387 @@
+"""Parallel world-sampling engine.
+
+The Monte Carlo pipelines spend nearly all their time drawing and
+labeling possible worlds (paper Section 4), and a chunk of ``r`` worlds
+is embarrassingly parallel: every world is an independent function of
+the edge probabilities and its own random stream.  This module supplies
+the execution layer that exploits that structure without giving up
+reproducibility.
+
+Sharded random streams
+----------------------
+The pool of worlds is divided into fixed-size *shards* of
+:data:`DEFAULT_SHARD_WORLDS` consecutive worlds.  Shard ``j`` draws its
+edge masks from its own ``numpy`` stream, constructed as
+``SeedSequence(entropy, spawn_key=root.spawn_key + (j,))`` — the same
+derivation :meth:`numpy.random.SeedSequence.spawn` uses, but keyed by
+the shard's *position in the pool* instead of by spawn order.  Rows
+inside a shard are addressed by offset with a single O(1)
+``BitGenerator.advance`` jump.  Consequences:
+
+* the masks of world ``i`` depend only on the root seed and ``i`` —
+  never on the chunking pattern of ``ensure_samples`` calls, and never
+  on how many workers drew them;
+* the serial path (``workers=1``) and the process-pool path compute
+  **bit-identical** pools for a fixed seed, because both evaluate the
+  same pure function per shard (pinned by ``tests/test_parallel.py``).
+
+Execution
+---------
+:class:`ParallelSampler` partitions each requested chunk into shard
+tasks and either runs them inline (serial path) or fans them out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Workers are recreated
+per graph: the pool's initializer receives the (pickled) graph and
+backend name once, so per-task payloads are a few integers.  When the
+pool cannot start or dies mid-flight (sandboxes, missing semaphores,
+OOM-killed children), the sampler falls back to the serial path and
+stays there — parallelism is a throughput optimization, never a
+correctness dependency.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.exceptions import OracleError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.sampling.backends import BACKENDS, WorldBackend, resolve_backend
+from repro.utils.rng import ensure_seed_sequence
+
+__all__ = [
+    "DEFAULT_SHARD_WORLDS",
+    "ParallelSampler",
+    "WORKERS_AUTO",
+    "ensure_seed_sequence",
+    "resolve_workers",
+    "validate_workers_spec",
+    "sample_shard_masks",
+    "shard_plan",
+    "shard_seed_sequence",
+]
+
+#: Worlds per shard: the unit of random-stream derivation and of
+#: parallel dispatch.  128 worlds amortize process round-trips while
+#: keeping a 512-world default chunk divisible into 4 parallel tasks.
+DEFAULT_SHARD_WORLDS = 128
+
+#: Values accepted wherever a ``workers=`` option is exposed.
+WORKERS_AUTO = "auto"
+
+
+def shard_seed_sequence(root: np.random.SeedSequence, shard: int) -> np.random.SeedSequence:
+    """The stream of shard ``shard`` under root seed ``root``.
+
+    Children are constructed by explicit spawn key, so shard ``j``
+    always receives the same stream regardless of the order (or
+    process) in which shards are materialized.
+    """
+    return np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=tuple(root.spawn_key) + (int(shard),)
+    )
+
+
+def sample_shard_masks(
+    edge_prob: np.ndarray,
+    root: np.random.SeedSequence,
+    shard: int,
+    offset: int,
+    rows: int,
+) -> np.ndarray:
+    """Rows ``[offset, offset + rows)`` of shard ``shard``'s mask block.
+
+    Each mask row consumes exactly ``m`` uniform doubles — one 64-bit
+    PCG64 output per edge — so a row offset is a single O(1)
+    ``advance(offset * m)`` jump.  ``tests/test_parallel.py`` pins that
+    split draws equal whole draws.
+    """
+    edge_prob = np.asarray(edge_prob, dtype=np.float64)
+    rng = np.random.default_rng(shard_seed_sequence(root, shard))
+    if offset:
+        rng.bit_generator.advance(offset * len(edge_prob))
+    return rng.random((rows, len(edge_prob))) < edge_prob
+
+
+def shard_plan(
+    start: int, count: int, shard_worlds: int = DEFAULT_SHARD_WORLDS
+) -> list[tuple[int, int, int]]:
+    """Split pool worlds ``[start, start + count)`` into shard tasks.
+
+    Returns ``(shard, offset, rows)`` triples aligned to the absolute
+    shard grid, in pool order.
+
+    Examples
+    --------
+    >>> shard_plan(0, 70, 32)
+    [(0, 0, 32), (1, 0, 32), (2, 0, 6)]
+    >>> shard_plan(70, 60, 32)
+    [(2, 6, 26), (3, 0, 32), (4, 0, 2)]
+    """
+    if start < 0 or count < 0:
+        raise ValueError(f"start and count must be non-negative, got {start}, {count}")
+    if shard_worlds <= 0:
+        raise ValueError(f"shard_worlds must be positive, got {shard_worlds}")
+    tasks = []
+    position = start
+    end = start + count
+    while position < end:
+        shard, offset = divmod(position, shard_worlds)
+        rows = min(shard_worlds - offset, end - position)
+        tasks.append((shard, offset, rows))
+        position += rows
+    return tasks
+
+
+def validate_workers_spec(spec):
+    """Check a ``workers=`` spec without resolving it.
+
+    The single source of truth for what every layer (oracle, MCP/ACP
+    drivers, :class:`~repro.experiments.config.ExperimentScale`, CLI)
+    accepts: ``"auto"``/``None`` or a positive int.  Returns the spec
+    (``None`` normalized to ``"auto"``); raises :class:`OracleError`
+    otherwise.
+
+    Examples
+    --------
+    >>> validate_workers_spec(None)
+    'auto'
+    >>> validate_workers_spec(3)
+    3
+    """
+    if spec is None or spec == WORKERS_AUTO:
+        return WORKERS_AUTO
+    if isinstance(spec, (int, np.integer)) and not isinstance(spec, bool):
+        if spec < 1:
+            raise OracleError(f"workers must be >= 1 or 'auto', got {spec}")
+        return int(spec)
+    raise OracleError(f"workers must be a positive int or 'auto', got {spec!r}")
+
+
+def resolve_workers(
+    spec,
+    *,
+    chunk_size: int,
+    shard_worlds: int = DEFAULT_SHARD_WORLDS,
+    cpu_count: int | None = None,
+) -> int:
+    """Resolve a ``workers=`` spec into a concrete worker count.
+
+    ``"auto"``/``None`` means ``min(cpu_count, ceil(chunk_size /
+    shard_worlds))`` — no more workers than the chunk has shard tasks
+    to hand out, and never more than the machine has cores.  Integers
+    must be positive and are returned as-is.
+
+    Examples
+    --------
+    >>> resolve_workers("auto", chunk_size=512, shard_worlds=128, cpu_count=16)
+    4
+    >>> resolve_workers("auto", chunk_size=64, shard_worlds=128, cpu_count=16)
+    1
+    >>> resolve_workers(3, chunk_size=512)
+    3
+    """
+    spec = validate_workers_spec(spec)
+    if spec == WORKERS_AUTO:
+        cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+        tasks = max(1, -(-int(chunk_size) // int(shard_worlds)))
+        return max(1, min(cores, tasks))
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Worker-process side.  State is installed once per pool (the graph and
+# backend travel through the initializer, not with every task).
+# ----------------------------------------------------------------------
+
+_worker_graph: UncertainGraph | None = None
+_worker_backend: WorldBackend | None = None
+
+
+def _init_worker(graph: UncertainGraph, backend_name: str) -> None:
+    global _worker_graph, _worker_backend
+    _worker_graph = graph
+    _worker_backend = BACKENDS[backend_name]()
+
+
+def _run_shard_task(args):
+    root, shard, offset, rows = args
+    masks = sample_shard_masks(_worker_graph.edge_prob, root, shard, offset, rows)
+    return masks, _worker_backend.component_labels(_worker_graph, masks)
+
+
+class ParallelSampler:
+    """Draws and labels chunks of worlds, serially or across processes.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph being sampled.
+    backend:
+        World-labeling backend spec (see
+        :func:`repro.sampling.backends.resolve_backend`).  Only the
+        named built-in backends are dispatched to worker processes;
+        custom backend *instances* always run on the serial path so
+        their (possibly stateful) behavior stays observable.
+    workers:
+        ``"auto"``, ``None`` or a positive int — resolved once via
+        :func:`resolve_workers` against ``chunk_size``.
+    chunk_size:
+        The owning oracle's chunk size; only used by the ``"auto"``
+        worker heuristic.
+    shard_worlds:
+        Shard granularity; the default is almost always right.
+
+    Examples
+    --------
+    >>> g = UncertainGraph.from_edges([(0, 1, 0.5), (1, 2, 0.5)])
+    >>> sampler = ParallelSampler(g, workers=1)
+    >>> masks, labels = sampler.sample_chunk(np.random.SeedSequence(3), 0, 10)
+    >>> masks.shape, labels.shape
+    ((10, 2), (10, 3))
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        *,
+        backend="auto",
+        workers=1,
+        chunk_size: int = 512,
+        shard_worlds: int = DEFAULT_SHARD_WORLDS,
+    ):
+        if shard_worlds <= 0:
+            raise ValueError(f"shard_worlds must be positive, got {shard_worlds}")
+        self._graph = graph
+        self._backend = resolve_backend(backend, graph)
+        self._shard_worlds = int(shard_worlds)
+        self._workers = resolve_workers(
+            workers, chunk_size=chunk_size, shard_worlds=shard_worlds
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_broken = False
+
+    @property
+    def backend(self) -> WorldBackend:
+        return self._backend
+
+    @property
+    def workers(self) -> int:
+        """The resolved worker count (1 means the serial path)."""
+        return self._workers
+
+    @property
+    def shard_worlds(self) -> int:
+        return self._shard_worlds
+
+    def _parallelizable(self) -> bool:
+        return (
+            self._workers > 1
+            and not self._pool_broken
+            and self._backend.name in BACKENDS
+            and type(self._backend) is BACKENDS[self._backend.name]
+        )
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._pool is not None:
+            return self._pool
+        try:
+            import multiprocessing
+
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                # fork shares the graph pages copy-on-write and skips
+                # re-importing the package in every worker.
+                context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(self._graph, self._backend.name),
+            )
+        except Exception as error:  # pragma: no cover - environment-specific
+            self._mark_broken(error)
+        return self._pool
+
+    def _mark_broken(self, error: Exception) -> None:
+        self._pool_broken = True
+        self.close()
+        warnings.warn(
+            f"process pool unavailable ({type(error).__name__}: {error}); "
+            "falling back to serial sampling",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def sample_chunk(
+        self, root: np.random.SeedSequence, start: int, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Masks and labels of pool worlds ``[start, start + count)``.
+
+        Returns ``(masks, labels)`` of shapes ``(count, m)`` and
+        ``(count, n)``.  The result is a pure function of
+        ``(graph, backend, root, start, count)`` — identical under any
+        worker count or chunking pattern.
+        """
+        tasks = shard_plan(start, count, self._shard_worlds)
+        # Dispatch only when there are at least two full shards of work;
+        # below that, pool startup and pickling dominate and the serial
+        # path is faster (small runs stay serial under "auto").
+        if count >= 2 * self._shard_worlds and self._parallelizable():
+            pool = self._ensure_pool()
+            if pool is not None:
+                try:
+                    parts = list(
+                        pool.map(
+                            _run_shard_task,
+                            [(root, shard, offset, rows) for shard, offset, rows in tasks],
+                        )
+                    )
+                    masks = np.concatenate([part[0] for part in parts], axis=0)
+                    labels = np.concatenate([part[1] for part in parts], axis=0)
+                    return masks, labels
+                except Exception as error:
+                    self._mark_broken(error)
+        return self._sample_serial(root, tasks, count)
+
+    def _sample_serial(self, root, tasks, count) -> tuple[np.ndarray, np.ndarray]:
+        edge_prob = self._graph.edge_prob
+        if tasks:
+            masks = np.concatenate(
+                [
+                    sample_shard_masks(edge_prob, root, shard, offset, rows)
+                    for shard, offset, rows in tasks
+                ],
+                axis=0,
+            )
+        else:
+            masks = np.zeros((0, len(edge_prob)), dtype=bool)
+        # One labeling call per chunk, so instrumented backends observe
+        # exactly the progressive-sampling growth steps.
+        return masks, self._backend.component_labels(self._graph, masks)
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op on the serial path)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelSampler(backend={self._backend.name!r}, "
+            f"workers={self._workers}, shard_worlds={self._shard_worlds})"
+        )

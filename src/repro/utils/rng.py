@@ -34,6 +34,35 @@ def ensure_rng(seed=None) -> np.random.Generator:
     )
 
 
+def ensure_seed_sequence(seed=None) -> np.random.SeedSequence:
+    """Coerce ``seed`` into a root :class:`numpy.random.SeedSequence`.
+
+    Accepts ``None`` (fresh OS entropy), an ``int``, a ready
+    ``SeedSequence`` (returned unchanged), or a
+    :class:`numpy.random.Generator` — one 63-bit integer is drawn from
+    the generator and used as entropy, so the derivation is
+    deterministic given the generator's state.  This is the root of the
+    sharded per-world streams of :mod:`repro.sampling.parallel`.
+
+    Examples
+    --------
+    >>> ensure_seed_sequence(7).entropy
+    7
+    >>> ss = np.random.SeedSequence(5)
+    >>> ensure_seed_sequence(ss) is ss
+    True
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(2**63)))
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(seed if seed is None else int(seed))
+    raise TypeError(
+        f"expected None, int, SeedSequence or numpy Generator, got {type(seed).__name__}"
+    )
+
+
 def spawn_rngs(seed, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent generators from ``seed``.
 

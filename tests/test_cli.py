@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import UncertainGraph, write_uncertain_graph
+from repro import write_uncertain_graph
 from repro.cli import main
 
 
@@ -89,6 +89,28 @@ class TestCluster:
     def test_unknown_backend_rejected(self, graph_file, capsys):
         with pytest.raises(SystemExit):
             main(["cluster", graph_file, "--backend", "duckdb"])
+
+    def test_workers_flag_is_output_invariant(self, graph_file, capsys):
+        outputs = []
+        for workers in ("1", "2", "auto"):
+            assert main(
+                ["cluster", graph_file, "--k", "2", "--samples", "200",
+                 "--workers", workers]
+            ) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_invalid_workers_rejected(self, graph_file):
+        for bad in ("0", "-3", "many"):
+            with pytest.raises(SystemExit):
+                main(["cluster", graph_file, "--workers", bad])
+
+    def test_estimate_workers_flag(self, graph_file, capsys):
+        assert main(
+            ["estimate", graph_file, "0", "1", "--samples", "500",
+             "--workers", "2"]
+        ) == 0
+        assert "Pr(0 ~ 1)" in capsys.readouterr().out
 
     def test_estimate_backend_flag(self, graph_file, capsys):
         assert main(

@@ -5,7 +5,6 @@ import pytest
 
 from repro import (
     MonteCarloOracle,
-    UncertainGraph,
     acp_clustering,
     mcp_clustering,
     read_uncertain_graph,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Clustering, MonteCarloOracle, UncertainGraph
+from repro import Clustering, MonteCarloOracle
 from repro.core.clustering import UNCOVERED
 from repro.metrics.quality import (
     avg_connection_probability,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.experiments.multirun import (
-    AggregatedCell,
     aggregated_table,
     run_repeated_suite,
 )

@@ -1,0 +1,332 @@
+"""Equivalence suite for the parallel world-sampling engine.
+
+Mirrors ``tests/test_backends.py``: where that suite pins that the
+labeling *backend* never changes results, this one pins that the
+*execution layer* never does — for a fixed seed, the pool of worlds
+(and everything downstream: estimates, depth queries, MCP/ACP
+clusterings) is bit-identical whether chunks are sampled serially,
+across 4 worker processes, or in any chunking pattern.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.acp import acp_clustering
+from repro.core.mcp import mcp_clustering
+from repro.exceptions import OracleError
+from repro.sampling import MonteCarloOracle
+from repro.sampling.backends import ScipyWorldBackend
+from repro.sampling.parallel import (
+    DEFAULT_SHARD_WORLDS,
+    ParallelSampler,
+    ensure_seed_sequence,
+    resolve_workers,
+    sample_shard_masks,
+    shard_plan,
+    shard_seed_sequence,
+    validate_workers_spec,
+)
+from tests.conftest import random_graph
+
+WORKER_COUNTS = (1, 4)
+BACKEND_NAMES = ("scipy", "unionfind")
+
+
+@pytest.fixture(scope="module")
+def tiny_substrate():
+    """An 80-node PPI-like substrate, the size the tiny presets use."""
+    return random_graph(80, 0.06, np.random.default_rng(11), prob_low=0.2, prob_high=0.95)
+
+
+def pooled_oracle(graph, *, workers, backend="scipy", chunk_size=512, seed=99, samples=512):
+    oracle = MonteCarloOracle(
+        graph, seed=seed, chunk_size=chunk_size, backend=backend, workers=workers
+    )
+    oracle.ensure_samples(samples)
+    return oracle
+
+
+class TestShardStreams:
+    """The random-stream derivation the whole design rests on."""
+
+    def test_split_draw_equals_whole_draw(self):
+        """Row offsets must continue a shard's stream exactly (pins the
+        one-uniform-per-edge advance arithmetic)."""
+        prob = np.linspace(0.05, 0.95, 17)
+        root = ensure_seed_sequence(42)
+        whole = sample_shard_masks(prob, root, shard=3, offset=0, rows=50)
+        parts = [
+            sample_shard_masks(prob, root, shard=3, offset=0, rows=20),
+            sample_shard_masks(prob, root, shard=3, offset=20, rows=13),
+            sample_shard_masks(prob, root, shard=3, offset=33, rows=17),
+        ]
+        assert np.array_equal(whole, np.concatenate(parts, axis=0))
+
+    def test_shards_are_independent_streams(self):
+        prob = np.full(8, 0.5)
+        root = ensure_seed_sequence(0)
+        a = sample_shard_masks(prob, root, shard=0, offset=0, rows=16)
+        b = sample_shard_masks(prob, root, shard=1, offset=0, rows=16)
+        assert not np.array_equal(a, b)
+
+    def test_shard_streams_match_numpy_spawn(self):
+        """Shard j's stream is exactly the j-th spawn child of the root."""
+        root = np.random.SeedSequence(7)
+        spawned = np.random.SeedSequence(7).spawn(3)[2]
+        ours = shard_seed_sequence(root, 2)
+        assert ours.entropy == spawned.entropy
+        assert tuple(ours.spawn_key) == tuple(spawned.spawn_key)
+
+    def test_edgeless_graph(self):
+        masks = sample_shard_masks(np.empty(0), ensure_seed_sequence(1), 0, 0, 5)
+        assert masks.shape == (5, 0)
+
+    def test_seed_sequence_coercions(self):
+        assert ensure_seed_sequence(5).entropy == 5
+        ss = np.random.SeedSequence(9)
+        assert ensure_seed_sequence(ss) is ss
+        gen_a = np.random.default_rng(3)
+        gen_b = np.random.default_rng(3)
+        assert ensure_seed_sequence(gen_a).entropy == ensure_seed_sequence(gen_b).entropy
+        with pytest.raises(TypeError):
+            ensure_seed_sequence("seed")
+
+
+class TestShardPlan:
+    def test_aligned(self):
+        assert shard_plan(0, 256, 128) == [(0, 0, 128), (1, 0, 128)]
+
+    def test_straddles_boundaries(self):
+        assert shard_plan(70, 60, 32) == [(2, 6, 26), (3, 0, 32), (4, 0, 2)]
+
+    def test_empty(self):
+        assert shard_plan(10, 0, 32) == []
+
+    def test_rows_cover_exactly(self):
+        tasks = shard_plan(123, 777, 64)
+        assert sum(rows for _, _, rows in tasks) == 777
+        with pytest.raises(ValueError):
+            shard_plan(-1, 5, 32)
+        with pytest.raises(ValueError):
+            shard_plan(0, 5, 0)
+
+
+class TestResolveWorkers:
+    def test_auto_is_min_of_cores_and_tasks(self):
+        assert resolve_workers("auto", chunk_size=512, shard_worlds=128, cpu_count=16) == 4
+        assert resolve_workers("auto", chunk_size=512, shard_worlds=128, cpu_count=2) == 2
+        assert resolve_workers(None, chunk_size=100, shard_worlds=128, cpu_count=8) == 1
+
+    def test_explicit_int(self):
+        assert resolve_workers(3, chunk_size=64) == 3
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(OracleError, match="workers"):
+            resolve_workers(0, chunk_size=64)
+        with pytest.raises(OracleError, match="workers"):
+            resolve_workers(-2, chunk_size=64)
+        with pytest.raises(OracleError, match="workers"):
+            resolve_workers(2.5, chunk_size=64)
+        with pytest.raises(OracleError, match="workers"):
+            resolve_workers(True, chunk_size=64)
+
+    def test_validate_is_the_shared_source_of_truth(self):
+        assert validate_workers_spec(None) == "auto"
+        assert validate_workers_spec("auto") == "auto"
+        assert validate_workers_spec(np.int64(2)) == 2
+        for bad in (0, -1, "four", 1.5, False):
+            with pytest.raises(OracleError, match="workers"):
+                validate_workers_spec(bad)
+
+
+class TestWorkerCountEquivalence:
+    """workers=1 vs workers=4: bit-identical pools under both backends."""
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_labels_identical(self, tiny_substrate, backend):
+        serial = pooled_oracle(tiny_substrate, workers=1, backend=backend)
+        parallel = pooled_oracle(tiny_substrate, workers=4, backend=backend)
+        assert serial.workers == 1 and parallel.workers == 4
+        assert np.array_equal(serial.component_labels, parallel.component_labels)
+        parallel.close()
+
+    def test_labels_identical_across_backends_and_workers(self, tiny_substrate):
+        """The full 2x2 grid collapses to one pool for a fixed seed."""
+        pools = [
+            pooled_oracle(tiny_substrate, workers=w, backend=b, samples=256)
+            for w in WORKER_COUNTS
+            for b in BACKEND_NAMES
+        ]
+        reference = pools[0].component_labels
+        for oracle in pools[1:]:
+            assert np.array_equal(oracle.component_labels, reference)
+            oracle.close()
+
+    def test_estimates_identical(self, tiny_substrate):
+        serial = pooled_oracle(tiny_substrate, workers=1)
+        parallel = pooled_oracle(tiny_substrate, workers=4)
+        for node in (0, 17, 79):
+            assert np.array_equal(
+                serial.connection_to_all(node), parallel.connection_to_all(node)
+            )
+        assert np.array_equal(
+            serial.connection_to_all(3, depth=2), parallel.connection_to_all(3, depth=2)
+        )
+        assert np.array_equal(serial.pairwise_matrix(), parallel.pairwise_matrix())
+        parallel.close()
+
+    def test_chunking_pattern_is_invisible(self, tiny_substrate):
+        """Pool content depends only on (seed, r) — not on the chunk
+        boundaries of the ensure_samples calls that grew it."""
+        direct = pooled_oracle(tiny_substrate, workers=1, samples=300)
+        stepped = MonteCarloOracle(tiny_substrate, seed=99, chunk_size=512, backend="scipy")
+        for r in (1, 70, 130, 300):
+            stepped.ensure_samples(r)
+        small_chunks = MonteCarloOracle(
+            tiny_substrate, seed=99, chunk_size=64, backend="scipy"
+        )
+        small_chunks.ensure_samples(300)
+        assert np.array_equal(direct.component_labels, stepped.component_labels)
+        assert np.array_equal(direct.component_labels, small_chunks.component_labels)
+
+
+class TestClusteringEquivalence:
+    """MCP/ACP return identical clusterings under every worker count."""
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_mcp_identical(self, tiny_substrate, backend):
+        results = [
+            mcp_clustering(
+                tiny_substrate, 6, seed=4, chunk_size=512, backend=backend, workers=w
+            )
+            for w in WORKER_COUNTS
+        ]
+        first, second = results
+        assert np.array_equal(first.clustering.assignment, second.clustering.assignment)
+        assert np.array_equal(first.clustering.centers, second.clustering.centers)
+        assert first.q_final == second.q_final
+        assert first.min_prob_estimate == second.min_prob_estimate
+        assert [g.q for g in first.history] == [g.q for g in second.history]
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_acp_identical(self, tiny_substrate, backend):
+        results = [
+            acp_clustering(
+                tiny_substrate, 6, seed=4, chunk_size=512, backend=backend, workers=w
+            )
+            for w in WORKER_COUNTS
+        ]
+        first, second = results
+        assert np.array_equal(first.clustering.assignment, second.clustering.assignment)
+        assert first.phi_best == second.phi_best
+        assert first.avg_prob_estimate == second.avg_prob_estimate
+
+
+class CountingBackend:
+    """WorldBackend spy recording per-call world counts (not poolable)."""
+
+    name = "counting"
+
+    def __init__(self):
+        self._inner = ScipyWorldBackend()
+        self.calls: list[int] = []
+
+    def component_labels(self, graph, masks):
+        self.calls.append(masks.shape[0])
+        return self._inner.component_labels(graph, masks)
+
+
+class TestSerialFallback:
+    def test_custom_backend_instances_stay_serial(self, tiny_substrate):
+        """Stateful/instrumented backends must remain observable, so a
+        parallel-capable oracle routes them down the serial path."""
+        spy = CountingBackend()
+        oracle = MonteCarloOracle(
+            tiny_substrate, seed=0, chunk_size=512, backend=spy, workers=4
+        )
+        oracle.ensure_samples(512)
+        # One in-process labeling call per chunk proves no dispatch.
+        assert spy.calls == [512]
+        assert oracle.workers == 4
+
+    def test_broken_pool_falls_back_and_warns(self, tiny_substrate, monkeypatch):
+        import repro.sampling.parallel as parallel_module
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process spawning here")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", ExplodingPool)
+        oracle = MonteCarloOracle(
+            tiny_substrate, seed=99, chunk_size=512, backend="scipy", workers=4
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            oracle.ensure_samples(512)
+        reference = pooled_oracle(tiny_substrate, workers=1)
+        assert np.array_equal(oracle.component_labels, reference.component_labels)
+        # The fallback is sticky: later growth stays serial, silently.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            oracle.ensure_samples(600)
+
+    def test_small_chunks_never_dispatch(self, tiny_substrate, monkeypatch):
+        """Chunks under two full shards of work run inline — pool
+        startup would dominate (and "auto" small runs stay serial)."""
+        import repro.sampling.parallel as parallel_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("pool must not be created for small chunks")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", forbidden)
+        below_threshold = 2 * DEFAULT_SHARD_WORLDS - 1
+        oracle = MonteCarloOracle(tiny_substrate, seed=1, chunk_size=512, workers=4)
+        oracle.ensure_samples(below_threshold)
+        assert oracle.num_samples == below_threshold
+
+
+class TestSamplerLifecycle:
+    def test_context_manager_closes_pool(self, tiny_substrate):
+        with ParallelSampler(tiny_substrate, backend="scipy", workers=4) as sampler:
+            masks, labels = sampler.sample_chunk(np.random.SeedSequence(5), 0, 300)
+            assert masks.shape[0] == labels.shape[0] == 300
+            assert sampler._pool is not None
+        assert sampler._pool is None
+
+    def test_oracle_close_is_idempotent(self, tiny_substrate):
+        oracle = pooled_oracle(tiny_substrate, workers=4, samples=256)
+        oracle.close()
+        oracle.close()
+        # The pool restarts transparently if sampling continues.
+        oracle.ensure_samples(512)
+        assert oracle.num_samples == 512
+        oracle.close()
+
+    def test_repr_mentions_workers(self, tiny_substrate):
+        oracle = MonteCarloOracle(tiny_substrate, seed=0, workers=2)
+        assert "workers=2" in repr(oracle)
+        assert "workers=2" in repr(ParallelSampler(tiny_substrate, workers=2))
+
+
+class TestMaxSamplesGuard:
+    """Regression: an over-budget request must fail before any sampling."""
+
+    def test_rejected_request_leaves_pool_untouched(self, two_triangles):
+        spy = CountingBackend()
+        oracle = MonteCarloOracle(
+            two_triangles, seed=0, chunk_size=32, max_samples=100, backend=spy
+        )
+        oracle.ensure_samples(64)
+        calls_before = list(spy.calls)
+        with pytest.raises(OracleError, match="max_samples"):
+            oracle.ensure_samples(150)
+        # No chunk was drawn or labeled for the rejected request.
+        assert spy.calls == calls_before
+        assert oracle.num_samples == 64
+        assert oracle.component_labels.shape[0] == 64
+
+    def test_budget_boundary_is_inclusive(self, two_triangles):
+        oracle = MonteCarloOracle(two_triangles, seed=0, chunk_size=32, max_samples=100)
+        oracle.ensure_samples(100)
+        assert oracle.num_samples == 100

@@ -1,7 +1,6 @@
 """Tests for the transcribed paper values and the shape-claim checker."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.reference import (
     PAPER_INNER_AVPR,
@@ -74,7 +73,10 @@ class TestShapeClaims:
             pmin[(record.graph, record.k, record.algorithm)] = record.pmin
             if np.isfinite(record.outer_avpr):
                 outer[(record.graph, record.k, record.algorithm)] = record.outer_avpr
-        for claim, holds in shape_claims(pmin=pmin, outer=outer):
+        # Tiny scale evaluates metrics on 120 sampled worlds, so the
+        # estimates carry the +-0.02-0.03 Monte Carlo band the checker
+        # documents; claims are checked up to that noise.
+        for claim, holds in shape_claims(pmin=pmin, outer=outer, tolerance=0.05):
             assert holds, f"measured run violates: {claim}"
 
 
