@@ -1,0 +1,40 @@
+# Developer entry points. The package needs no build step; everything
+# runs from src/ via PYTHONPATH.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test doctest bench docs docs-check lint clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+doctest:
+	$(PYTHON) -m pytest --doctest-modules src/repro -q
+
+bench:
+	$(PYTHON) -m pytest -q benchmarks/test_bench_backends.py benchmarks/test_bench_sampling.py
+	$(PYTHON) benchmarks/compare.py benchmarks/baselines/BENCH_sampling.json \
+	    benchmarks/out/BENCH_sampling.json --fail-over 2.0
+
+# API reference: always build the dependency-free Markdown reference
+# (docs/api) — it doubles as the docstring/doctest syntax gate — and,
+# when pdoc is installed, browsable HTML into docs/_build.
+docs:
+	$(PYTHON) docs/gen_api.py -o docs/api
+	@if $(PYTHON) -c "import pdoc" 2>/dev/null; then \
+	    $(PYTHON) -m pdoc --docformat numpy -o docs/_build repro; \
+	else \
+	    echo "pdoc not installed; skipped HTML build (docs/api has the Markdown reference)"; \
+	fi
+
+docs-check:
+	$(PYTHON) docs/gen_api.py --check
+
+lint:
+	ruff check src tests benchmarks examples docs
+	$(PYTHON) -m compileall -q src
+
+clean:
+	rm -rf docs/api docs/_build benchmarks/out
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

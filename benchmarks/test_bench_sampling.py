@@ -1,10 +1,12 @@
-"""Throughput of the parallel world-sampling engine.
+"""Throughput of the parallel world-sampling engine and the world store.
 
 Measures ``ensure_samples`` (mask sampling + labeling, pool startup
-included) for every backend × worker-count × substrate cell and records
-each measurement into the durable ``BENCH_sampling.json`` artifact via
-:mod:`benchmarks.record` — the file the CI perf gate diffs against the
-committed baseline.
+included) for every backend × worker-count × substrate cell, plus the
+warm-vs-cold world-store cells (``world_store/<substrate>/{cold,warm}``:
+a cold run samples into a fresh disk cache, a warm run serves the same
+pool from it), and records each measurement into the durable
+``BENCH_sampling.json`` artifact via :mod:`benchmarks.record` — the
+file the CI perf gate diffs against the committed baseline.
 
 Substrates:
 
@@ -20,6 +22,8 @@ fallback exists for exactly that reason), while on >= 4 cores the
 embarrassingly parallel across 128-world shards.  Whatever the
 hardware says ends up in the artifact — that is the point.
 """
+
+import shutil
 
 import numpy as np
 import pytest
@@ -75,6 +79,68 @@ def test_ensure_samples_throughput(benchmark, substrate, backend_name, workers):
             "edges": graph.n_edges,
         },
     )
+
+
+@pytest.mark.parametrize("phase", ["cold", "warm"])
+def test_world_store_warm_vs_cold(benchmark, substrate, phase, tmp_path_factory):
+    """Warm-vs-cold cache cells: the acceptance numbers of the world store.
+
+    ``cold`` draws R worlds into a fresh disk cache (sampling + packing
+    + spill); ``warm`` re-opens the same cache in a fresh oracle and
+    serves the identical pool without sampling a single mask.
+    """
+    substrate_name, graph = substrate
+    cache = tmp_path_factory.mktemp(f"worldcache-{substrate_name}-{phase}")
+
+    def reset_cache():
+        shutil.rmtree(cache, ignore_errors=True)
+
+    def run():
+        with MonteCarloOracle(
+            graph, seed=1, chunk_size=R, backend="unionfind", cache_dir=cache
+        ) as oracle:
+            oracle.ensure_samples(R)
+            return oracle.cache_stats
+
+    if phase == "cold":
+        stats = benchmark.pedantic(
+            run, setup=reset_cache, rounds=3, iterations=1, warmup_rounds=0
+        )
+        assert stats == {"worlds_cached": 0, "worlds_sampled": R}
+    else:
+        run()  # populate once; every measured round is then fully warm
+        stats = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+        assert stats == {"worlds_cached": R, "worlds_sampled": 0}
+    record_pytest_benchmark(
+        "sampling",
+        f"world_store/{substrate_name}/{phase}",
+        benchmark,
+        items=R,
+        meta={
+            "phase": phase,
+            "substrate": substrate_name,
+            "backend": "unionfind",
+            "r": R,
+            "nodes": graph.n_nodes,
+            "edges": graph.n_edges,
+        },
+    )
+
+
+def test_world_store_warm_pool_bit_identical(substrate, tmp_path):
+    """The equivalence the warm cells ride on: cached == freshly drawn."""
+    substrate_name, graph = substrate
+    with MonteCarloOracle(
+        graph, seed=1, chunk_size=R, backend="unionfind", cache_dir=tmp_path
+    ) as cold:
+        cold.ensure_samples(R)
+        cold_labels = cold.component_labels
+    with MonteCarloOracle(
+        graph, seed=1, chunk_size=R, backend="unionfind", cache_dir=tmp_path
+    ) as warm:
+        warm.ensure_samples(R)
+        assert warm.cache_stats["worlds_sampled"] == 0
+        assert np.array_equal(warm.component_labels, cold_labels)
 
 
 def test_parallel_pool_bit_identical_to_serial(substrate):

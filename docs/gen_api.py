@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Dependency-free API reference generator and docstring validator.
+
+Walks a package (default: ``repro``), imports every module, and renders
+one Markdown page per module into an output directory (default:
+``docs/api``) — module docstring, then the signature and docstring of
+every public class (with its public methods and properties) and every
+public function, plus an ``index.md``.
+
+It is also the CI docstring gate: the run **fails** (exit code 1) when
+
+* any module of the package fails to import, or
+* any docstring contains a malformed doctest example (the same
+  ``doctest.DocTestParser`` errors that would break the CI doctest
+  step, caught here with a precise location).
+
+Missing docstrings on public callables are reported as warnings (the
+count is printed, the build still succeeds) so coverage is visible
+without making every helper a hard failure.
+
+Usage::
+
+    PYTHONPATH=src python docs/gen_api.py            # build into docs/api
+    PYTHONPATH=src python docs/gen_api.py --check    # validate only
+
+``make docs`` prefers ``pdoc`` for browsable HTML when it is installed
+and always runs this generator for the validation gate and the
+committed-artifact-free Markdown reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+
+def iter_module_names(package_name: str) -> list[str]:
+    """All importable module names of ``package_name``, in sorted order."""
+    package = importlib.import_module(package_name)
+    names = [package_name]
+    for info in pkgutil.walk_packages(package.__path__, prefix=package_name + "."):
+        names.append(info.name)
+    return sorted(names)
+
+
+def public_members(module) -> list[tuple[str, object]]:
+    """Public classes and functions *defined in* ``module`` (no re-exports)."""
+    members = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue
+        members.append((name, obj))
+    members.sort(key=lambda pair: pair[0])
+    return members
+
+
+def check_doctest_syntax(owner: str, docstring: str | None, problems: list[str]) -> None:
+    """Append a problem entry when ``docstring`` has malformed examples."""
+    if not docstring:
+        return
+    try:
+        doctest.DocTestParser().parse(docstring, owner)
+    except ValueError as error:
+        problems.append(f"{owner}: docstring syntax error: {error}")
+
+
+def signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def render_member(name: str, obj, qualname: str, problems: list[str], warnings: list[str]) -> str:
+    """Markdown section for one public class or function."""
+    lines = []
+    kind = "class" if inspect.isclass(obj) else "function"
+    lines.append(f"### `{name}{signature_of(obj)}`\n")
+    doc = inspect.getdoc(obj)
+    check_doctest_syntax(qualname, doc, problems)
+    if doc:
+        lines.append(doc + "\n")
+    else:
+        warnings.append(f"{qualname}: public {kind} has no docstring")
+    if inspect.isclass(obj):
+        for attr_name, attr in sorted(vars(obj).items()):
+            if attr_name.startswith("_"):
+                continue
+            if isinstance(attr, property):
+                doc = inspect.getdoc(attr)
+                check_doctest_syntax(f"{qualname}.{attr_name}", doc, problems)
+                lines.append(f"- **`{attr_name}`** (property) — {doc or ''}".rstrip() + "\n")
+            elif inspect.isfunction(attr):
+                doc = inspect.getdoc(attr)
+                check_doctest_syntax(f"{qualname}.{attr_name}", doc, problems)
+                summary = (doc or "").split("\n\n")[0].replace("\n", " ")
+                lines.append(f"- **`{attr_name}{signature_of(attr)}`** — {summary}".rstrip() + "\n")
+                if doc and doctest.DocTestParser().get_examples(doc):
+                    body = "\n".join(f"  {line}" for line in doc.splitlines())
+                    lines.append(body + "\n")
+    return "\n".join(lines)
+
+
+def render_module(module, problems: list[str], warnings: list[str]) -> str:
+    lines = [f"# `{module.__name__}`\n"]
+    doc = inspect.getdoc(module)
+    check_doctest_syntax(module.__name__, doc, problems)
+    if doc:
+        lines.append(doc + "\n")
+    else:
+        warnings.append(f"{module.__name__}: module has no docstring")
+    members = public_members(module)
+    if members:
+        lines.append("## API\n")
+        for name, obj in members:
+            lines.append(render_member(name, obj, f"{module.__name__}.{name}", problems, warnings))
+    return "\n".join(lines) + "\n"
+
+
+def build(package_name: str, out_dir: Path | None) -> int:
+    problems: list[str] = []
+    warnings: list[str] = []
+    pages: dict[str, str] = {}
+    try:
+        module_names = iter_module_names(package_name)
+    except Exception as error:  # the package itself failed to import
+        print(f"FATAL: cannot import {package_name}: {error}", file=sys.stderr)
+        return 1
+    for name in module_names:
+        try:
+            module = importlib.import_module(name)
+        except Exception as error:
+            problems.append(f"{name}: import failed: {error}")
+            continue
+        pages[name] = render_module(module, problems, warnings)
+
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        index = [f"# `{package_name}` API reference\n"]
+        for name in sorted(pages):
+            filename = name.replace(".", "/") + ".md"
+            path = out_dir / filename
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(pages[name], encoding="utf-8")
+            first_line = next(
+                (line for line in pages[name].splitlines()[1:] if line.strip()), ""
+            )
+            index.append(f"- [`{name}`]({filename}) — {first_line.strip()}")
+        (out_dir / "index.md").write_text("\n".join(index) + "\n", encoding="utf-8")
+
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    for problem in problems:
+        print(f"ERROR: {problem}", file=sys.stderr)
+    built = f", wrote {len(pages) + 1} pages to {out_dir}" if out_dir is not None else ""
+    print(
+        f"{len(pages)} modules, {len(warnings)} docstring warnings, "
+        f"{len(problems)} errors{built}"
+    )
+    return 1 if problems else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--package", default="repro", help="package to document")
+    parser.add_argument(
+        "-o", "--out", default="docs/api", help="output directory for the Markdown pages"
+    )
+    parser.add_argument(
+        "--check", action="store_true", help="validate docstrings only; write nothing"
+    )
+    args = parser.parse_args(argv)
+    return build(args.package, None if args.check else Path(args.out))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli estimate graph.uel A B --samples 4000
     python -m repro.cli cluster graph.uel --k 20 --algorithm mcp -o out.tsv
     python -m repro.cli generate krogan --scale 0.2 -o krogan.uel
+    python -m repro.cli cache info .world-cache
+    python -m repro.cli cache clear .world-cache
 
 Graphs are read/written in the ``.uel`` text format (``u v probability``
 per line); clusterings are written as TSV ``node<TAB>cluster<TAB>center``.
@@ -32,6 +34,7 @@ from repro.sampling.backends import BACKEND_NAMES
 from repro.sampling.oracle import MonteCarloOracle
 from repro.sampling.parallel import validate_workers_spec
 from repro.sampling.sizes import PracticalSchedule
+from repro.sampling.store import WorldStore
 
 _CLUSTER_ALGORITHMS = ("mcp", "acp", "mcl", "gmm", "kpt")
 
@@ -68,7 +71,8 @@ def _cmd_estimate(args) -> int:
     u = graph.index_of(args.u) if args.u in graph.node_labels else graph.index_of(_coerce(args.u))
     v = graph.index_of(args.v) if args.v in graph.node_labels else graph.index_of(_coerce(args.v))
     oracle = MonteCarloOracle(
-        graph, seed=args.seed, backend=args.backend, workers=args.workers
+        graph, seed=args.seed, backend=args.backend, workers=args.workers,
+        cache_dir=args.world_cache,
     )
     oracle.ensure_samples(args.samples)
     estimate = oracle.connection(u, v, depth=args.depth)
@@ -102,14 +106,14 @@ def _cmd_cluster(args) -> int:
     if args.algorithm == "mcp":
         result = mcp_clustering(
             graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule,
-            backend=args.backend, workers=args.workers,
+            backend=args.backend, workers=args.workers, cache_dir=args.world_cache,
         )
         clustering = result.clustering
         print(f"mcp: k={args.k} min-prob~={result.min_prob_estimate:.3f} q={result.q_final:.4f}", file=sys.stderr)
     elif args.algorithm == "acp":
         result = acp_clustering(
             graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule,
-            backend=args.backend, workers=args.workers,
+            backend=args.backend, workers=args.workers, cache_dir=args.world_cache,
         )
         clustering = result.clustering
         print(f"acp: k={args.k} avg-prob~={result.avg_prob_estimate:.3f}", file=sys.stderr)
@@ -134,6 +138,52 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _format_bytes(n_bytes: int) -> str:
+    value = float(n_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{int(value)}B"  # pragma: no cover - loop always returns
+
+
+def _cmd_cache_info(args) -> int:
+    store = WorldStore(args.dir)
+    pools = store.info()
+    if not pools:
+        print(f"{args.dir}: no cached pools")
+        return 0
+    print("digest        worlds   nodes   edges  backend     chunk  masks      labels")
+    total_masks = total_labels = 0
+    for pool in pools:
+        total_masks += pool.mask_bytes
+        total_labels += pool.label_bytes
+        print(
+            f"{pool.digest[:12]}  {pool.n_worlds:>6}  {pool.n_nodes:>6}  "
+            f"{pool.n_edges:>6}  {pool.backend:<10}  {pool.chunk_size:>5}  "
+            f"{_format_bytes(pool.mask_bytes):<9}  {_format_bytes(pool.label_bytes)}"
+        )
+    print(
+        f"{len(pools)} pool(s), {_format_bytes(total_masks)} packed masks, "
+        f"{_format_bytes(total_labels)} labels"
+    )
+    return 0
+
+
+def _cmd_cache_clear(args) -> int:
+    store = WorldStore(args.dir)
+    if args.digest:
+        matches = [pool.digest for pool in store.info() if pool.digest.startswith(args.digest)]
+        if not matches:
+            print(f"error: no cached pool matches digest {args.digest!r}", file=sys.stderr)
+            return 2
+        removed = sum(store.clear(digest) for digest in matches)
+    else:
+        removed = store.clear()
+    print(f"removed {removed} pool(s) from {args.dir}", file=sys.stderr)
+    return 0
+
+
 def _cmd_generate(args) -> int:
     graph, complexes = load_dataset(args.dataset, seed=args.seed, scale=args.scale, dblp_authors=args.dblp_authors)
     write_uncertain_graph(graph, args.output, header=f"{args.dataset} (seed={args.seed}, scale={args.scale})")
@@ -145,6 +195,14 @@ def _cmd_generate(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser (all subcommands attached).
+
+    Examples
+    --------
+    >>> parser = build_parser()
+    >>> sorted(parser.parse_args(["stats", "g.uel"]).__dict__)[:2]
+    ['command', 'func']
+    """
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -171,6 +229,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="sampling worker processes (auto = min(cpu count, chunk heuristic); "
         "1 forces the serial path; results are identical either way)",
     )
+    estimate.add_argument(
+        "--world-cache", default=None, metavar="DIR",
+        help="persistent world-store directory: sampled pools are reused "
+        "across runs with the same (graph, seed, backend, chunk size)",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     cluster = sub.add_parser("cluster", help="cluster a .uel graph")
@@ -189,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="sampling worker processes for mcp/acp (auto = min(cpu count, "
         "chunk heuristic); 1 forces the serial path)",
     )
+    cluster.add_argument(
+        "--world-cache", default=None, metavar="DIR",
+        help="persistent world-store directory for mcp/acp: sampled pools are "
+        "reused across runs with the same (graph, seed, backend, chunk size)",
+    )
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--merge", default="error")
     cluster.add_argument("-o", "--output", default=None, help="write TSV here (default stdout)")
@@ -201,10 +269,24 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=1.0)
     generate.add_argument("--dblp-authors", type=int, default=20_000)
     generate.set_defaults(func=_cmd_generate)
+
+    cache = sub.add_parser("cache", help="inspect or clear a world-store cache directory")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_info = cache_sub.add_parser("info", help="list cached pools and their sizes")
+    cache_info.add_argument("dir", help="world-cache directory (as passed to --world-cache)")
+    cache_info.set_defaults(func=_cmd_cache_info)
+    cache_clear = cache_sub.add_parser("clear", help="delete cached pools")
+    cache_clear.add_argument("dir", help="world-cache directory (as passed to --world-cache)")
+    cache_clear.add_argument(
+        "--digest", default=None,
+        help="remove only pools whose digest starts with this prefix (default: all)",
+    )
+    cache_clear.set_defaults(func=_cmd_cache_clear)
     return parser
 
 
 def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code (0 ok, 2 usage/error)."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

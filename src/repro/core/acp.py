@@ -82,12 +82,17 @@ def acp_clustering(
     max_samples: int = 1_000_000,
     backend="auto",
     workers=1,
+    store=None,
+    cache_dir=None,
 ) -> ACPResult:
     """Cluster an uncertain graph maximizing average connection probability.
 
     Parameters mirror :func:`repro.core.mcp.mcp_clustering` (including
-    the ``backend`` world-labeling selection and the ``workers``
-    sampling parallelism); see the module docstring for the ``mode``
+    the ``backend`` world-labeling selection, the ``workers`` sampling
+    parallelism and the ``store`` / ``cache_dir`` world-store
+    attachment — an MCP run followed by an ACP run with the same
+    ``(graph, seed, backend, chunk_size)`` and a shared store reuses
+    one sampled pool); see the module docstring for the ``mode``
     semantics.
 
     Examples
@@ -104,7 +109,7 @@ def acp_clustering(
         raise ClusteringError(f"mode must be one of {_MODES}, got {mode!r}")
     oracle = resolve_oracle(
         graph, oracle, seed=seed, chunk_size=chunk_size, max_samples=max_samples,
-        backend=backend, workers=workers,
+        backend=backend, workers=workers, store=store, cache_dir=cache_dir,
     )
     n = oracle.n_nodes
     validate_common(k, n, gamma, eps, p_lower, depth)

@@ -23,14 +23,29 @@ def resolve_oracle(
     max_samples: int,
     backend="auto",
     workers=1,
+    store=None,
+    cache_dir=None,
 ):
     """Return the oracle to use: the caller's, or a fresh Monte Carlo one.
 
-    ``backend`` selects the world-labeling backend and ``workers`` the
-    sampling parallelism of a freshly built :class:`MonteCarloOracle`
-    (see :mod:`repro.sampling.backends` and
-    :mod:`repro.sampling.parallel`); both are ignored when the caller
+    ``backend`` selects the world-labeling backend, ``workers`` the
+    sampling parallelism, and ``store`` / ``cache_dir`` the world-store
+    attachment of a freshly built :class:`MonteCarloOracle` (see
+    :mod:`repro.sampling.backends`, :mod:`repro.sampling.parallel` and
+    :mod:`repro.sampling.store`); all are ignored when the caller
     supplies an ``oracle``.
+
+    Examples
+    --------
+    >>> from repro.graph.uncertain_graph import UncertainGraph
+    >>> g = UncertainGraph.from_edges([(0, 1, 0.5)])
+    >>> oracle = resolve_oracle(
+    ...     g, None, seed=7, chunk_size=64, max_samples=1000)
+    >>> oracle.num_samples
+    0
+    >>> resolve_oracle(None, oracle, seed=0, chunk_size=1,
+    ...                max_samples=1) is oracle   # caller's oracle wins
+    True
     """
     if oracle is not None:
         return oracle
@@ -43,6 +58,8 @@ def resolve_oracle(
         max_samples=max_samples,
         backend=backend,
         workers=workers,
+        store=store,
+        cache_dir=cache_dir,
     )
 
 

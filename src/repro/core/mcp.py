@@ -92,6 +92,8 @@ def mcp_clustering(
     max_samples: int = 1_000_000,
     backend="auto",
     workers=1,
+    store=None,
+    cache_dir=None,
 ) -> MCPResult:
     """Cluster an uncertain graph maximizing minimum connection probability.
 
@@ -136,6 +138,14 @@ def mcp_clustering(
         a positive int, or ``"auto"`` (see
         :mod:`repro.sampling.parallel`).  Results are bit-identical
         under every worker count.  Ignored when ``oracle`` is given.
+    store, cache_dir:
+        World-store attachment of a freshly built oracle (see
+        :mod:`repro.sampling.store`): a shared
+        :class:`~repro.sampling.store.WorldStore` instance, or a cache
+        directory that persists the sampled pool across process runs.
+        Two calls with the same ``(graph, seed, backend, chunk_size)``
+        share one pool instead of resampling.  Ignored when ``oracle``
+        is given.
 
     Returns
     -------
@@ -151,7 +161,7 @@ def mcp_clustering(
     """
     oracle = resolve_oracle(
         graph, oracle, seed=seed, chunk_size=chunk_size, max_samples=max_samples,
-        backend=backend, workers=workers,
+        backend=backend, workers=workers, store=store, cache_dir=cache_dir,
     )
     n = oracle.n_nodes
     validate_common(k, n, gamma, eps, p_lower, depth)

@@ -41,5 +41,14 @@ class OracleError(ReproError, RuntimeError):
     """
 
 
+class WorldStoreError(OracleError):
+    """A world-store request is invalid.
+
+    Raised for reads outside the stored pool, appends that would leave
+    a gap, or mismatched mask/label shapes.  Corrupt or stale cache
+    directories never raise — they are discarded and re-sampled.
+    """
+
+
 class ExperimentError(ReproError, RuntimeError):
     """An experiment configuration or run is invalid."""

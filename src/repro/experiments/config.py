@@ -47,6 +47,13 @@ class ExperimentScale:
     #: positive int; 1 forces the serial path.  Results are
     #: bit-identical under every setting.
     oracle_workers: int | str = "auto"
+    #: Optional world-cache directory.  When set, every Monte Carlo
+    #: oracle the harness builds attaches a shared disk-backed
+    #: :class:`repro.sampling.store.WorldStore`, so repeated runs of
+    #: the same exhibit (same graphs, seeds, backends) reuse their
+    #: sampled pools instead of redrawing them.  ``None`` (default)
+    #: disables caching.
+    world_cache: str | None = None
 
     def __post_init__(self):
         if not 0 < self.ppi_scale <= 1:

@@ -67,6 +67,7 @@ def run(
             chunk_size=128,
             backend=scale.oracle_backend,
             workers=scale.oracle_workers,
+            cache_dir=scale.world_cache,
         )
         table.add_row(
             algorithm="mcp",

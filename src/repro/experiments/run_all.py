@@ -92,6 +92,7 @@ def build_report(scale: str = "small", *, seed: int = 0, verbose: bool = True) -
 
 
 def main(argv=None) -> int:
+    """Run every exhibit at the chosen scale and emit the full report."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=sorted(SCALES), default="small")
     parser.add_argument("--seed", type=int, default=0)

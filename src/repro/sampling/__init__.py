@@ -16,6 +16,13 @@ from repro.sampling.parallel import (
     shard_plan,
     shard_seed_sequence,
 )
+from repro.sampling.store import (
+    WorldStore,
+    pack_masks,
+    packed_words,
+    pool_fingerprint,
+    unpack_masks,
+)
 from repro.sampling.worlds import (
     sample_edge_masks,
     world_component_labels,
@@ -49,6 +56,11 @@ __all__ = [
     "ScipyWorldBackend",
     "UnionFindWorldBackend",
     "WorldBackend",
+    "WorldStore",
+    "pack_masks",
+    "packed_words",
+    "pool_fingerprint",
+    "unpack_masks",
     "resolve_backend",
     "average_degree_representative",
     "degree_discrepancy",

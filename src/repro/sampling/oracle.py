@@ -10,8 +10,17 @@ worlds are reused and only the difference is drawn.
 Storage is chunked.  Each chunk keeps
 
 * the component labels of its worlds — an ``(c, n)`` int32 matrix — for
-  unbounded connection queries, and
+  unbounded connection queries,
+* the edge masks, bit-packed into ``uint64`` words (1/8 of the boolean
+  bytes; see :mod:`repro.sampling.store`) and unpacked on demand, and
 * (lazily) the block-diagonal CSR adjacency for depth-limited queries.
+
+With ``store=`` / ``cache_dir=``, chunks are additionally served from a
+content-addressed :class:`~repro.sampling.store.WorldStore` before any
+sampling happens: a pool drawn once for ``(graph, seed, backend,
+chunk_size)`` is reused across oracles — and, with a cache directory,
+across process runs — bit-identically, because world ``i`` is a pure
+function of ``(seed, i)``.
 
 Queries are answered against the whole pool:
 
@@ -33,6 +42,7 @@ from repro.exceptions import OracleError
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.sampling.backends import WorldBackend, resolve_backend
 from repro.sampling.parallel import ParallelSampler, ensure_seed_sequence
+from repro.sampling.store import WorldStore, pack_masks, unpack_masks
 from repro.sampling.worlds import (
     block_bfs_reached,
     world_block_csr,
@@ -72,6 +82,17 @@ class MonteCarloOracle:
         / shard))``).  Results are bit-identical under every worker
         count; custom backend instances and broken pools fall back to
         the serial path.
+    store:
+        Optional :class:`~repro.sampling.store.WorldStore`.  The oracle
+        registers its ``(graph, seed, backend, chunk_size)`` pool in
+        the store, serves :meth:`ensure_samples` from already-stored
+        worlds before drawing anything, and appends freshly drawn
+        chunks back.  Cached and fresh worlds are bit-identical, so a
+        warm oracle resumes progressive sampling mid-schedule.
+    cache_dir:
+        Convenience for ``store=WorldStore(cache_dir)``: a directory
+        the pool is persisted to across process runs.  Mutually
+        exclusive with ``store``.
 
     Examples
     --------
@@ -93,11 +114,15 @@ class MonteCarloOracle:
         max_samples: int = 1_000_000,
         backend="auto",
         workers=1,
+        store: WorldStore | None = None,
+        cache_dir=None,
     ):
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         if max_samples <= 0:
             raise ValueError(f"max_samples must be positive, got {max_samples}")
+        if store is not None and cache_dir is not None:
+            raise ValueError("pass either store= or cache_dir=, not both")
         self._graph = graph
         self._seed_seq = ensure_seed_sequence(seed)
         self._chunk_size = int(chunk_size)
@@ -106,10 +131,20 @@ class MonteCarloOracle:
         self._sampler = ParallelSampler(
             graph, backend=self._backend, workers=workers, chunk_size=self._chunk_size
         )
-        self._mask_chunks: list[np.ndarray] = []
+        if cache_dir is not None:
+            store = WorldStore(cache_dir)
+        self._store = store
+        self._pool_digest = (
+            store.register(graph, self._seed_seq, self._backend.name, self._chunk_size)
+            if store is not None
+            else None
+        )
+        self._packed_chunks: list[np.ndarray] = []
         self._label_chunks: list[np.ndarray] = []
         self._csr_chunks: list[sp.csr_matrix | None] = []
         self._n_samples = 0
+        self._worlds_cached = 0
+        self._worlds_sampled = 0
 
     # ------------------------------------------------------------------
     # Pool management
@@ -146,12 +181,38 @@ class MonteCarloOracle:
         """Resolved worker-process count (1 means the serial path)."""
         return self._sampler.workers
 
+    @property
+    def store(self) -> WorldStore | None:
+        """The attached world store, if any."""
+        return self._store
+
+    @property
+    def pool_digest(self) -> str | None:
+        """Content digest of this oracle's pool in the store (or ``None``)."""
+        return self._pool_digest
+
+    @property
+    def cache_stats(self) -> dict:
+        """Worlds served from the store vs freshly sampled, so far."""
+        return {
+            "worlds_cached": self._worlds_cached,
+            "worlds_sampled": self._worlds_sampled,
+        }
+
+    @property
+    def packed_mask_nbytes(self) -> int:
+        """Bytes of the in-memory bit-packed mask chunks (1/8 of boolean)."""
+        return sum(chunk.nbytes for chunk in self._packed_chunks)
+
     def ensure_samples(self, r: int) -> None:
         """Grow the pool to at least ``r`` worlds (never shrinks).
 
         Progressive-sampling invariant: chunks already in the pool are
         never re-sampled or re-labeled — only the difference between
-        ``r`` and the current pool size is drawn.
+        ``r`` and the current pool size is drawn.  With a store
+        attached, that difference is first covered from stored worlds
+        (bit-identical to freshly drawn ones); only the remainder is
+        sampled, and sampled chunks are appended back to the store.
 
         Raises
         ------
@@ -168,14 +229,40 @@ class MonteCarloOracle:
                 "raise the budget or use a clamping sample schedule"
             )
         while self._n_samples < r:
-            count = min(self._chunk_size, r - self._n_samples)
-            masks, labels = self._sampler.sample_chunk(
-                self._seed_seq, self._n_samples, count
-            )
-            self._mask_chunks.append(masks)
+            start = self._n_samples
+            count = min(self._chunk_size, r - start)
+            cached = self._load_cached_chunk(start, count)
+            if cached is not None:
+                packed, labels = cached
+                self._worlds_cached += packed.shape[0]
+            else:
+                masks, labels = self._sampler.sample_chunk(self._seed_seq, start, count)
+                packed = pack_masks(masks)
+                self._worlds_sampled += count
+                if self._store is not None:
+                    self._store.append(self._pool_digest, start, packed, labels)
+            self._packed_chunks.append(packed)
             self._label_chunks.append(labels)
             self._csr_chunks.append(None)
-            self._n_samples += count
+            self._n_samples += packed.shape[0]
+
+    def _load_cached_chunk(self, start: int, want: int):
+        """Up to ``want`` stored worlds from ``start``, or ``None`` on miss.
+
+        A pool cleared or truncated by another process between the
+        count and the read is treated as a miss (we fall back to
+        sampling), never as an error — the cache is best effort.
+        """
+        if self._store is None:
+            return None
+        try:
+            available = self._store.count(self._pool_digest)
+            if available <= start:
+                return None
+            take = min(want, available - start)
+            return self._store.read(self._pool_digest, start, start + take)
+        except (OSError, ValueError, OracleError):
+            return None
 
     def close(self) -> None:
         """Release the sampler's worker pool (serial path: no-op)."""
@@ -200,10 +287,14 @@ class MonteCarloOracle:
             return np.empty((0, self._graph.n_nodes), dtype=np.int32)
         return np.concatenate(self._label_chunks, axis=0)
 
+    def _masks_chunk(self, index: int) -> np.ndarray:
+        """Boolean edge masks of chunk ``index``, unpacked on demand."""
+        return unpack_masks(self._packed_chunks[index], self._graph.n_edges)
+
     def _csr_chunk(self, index: int) -> sp.csr_matrix:
         block = self._csr_chunks[index]
         if block is None:
-            block = world_block_csr(self._graph, self._mask_chunks[index])
+            block = world_block_csr(self._graph, self._masks_chunk(index))
             self._csr_chunks[index] = block
         return block
 
@@ -233,9 +324,9 @@ class MonteCarloOracle:
         else:
             if depth < 0:
                 raise ValueError(f"depth must be non-negative, got {depth}")
-            for index, masks in enumerate(self._mask_chunks):
+            for index, labels in enumerate(self._label_chunks):
                 block = self._csr_chunk(index)
-                reached = block_bfs_reached(block, n, masks.shape[0], node, depth)
+                reached = block_bfs_reached(block, n, labels.shape[0], node, depth)
                 counts += reached.sum(axis=0)
         return counts / self._n_samples
 

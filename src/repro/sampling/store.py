@@ -1,0 +1,661 @@
+"""Bit-packed, content-addressed persistent store of sampled worlds.
+
+Monte Carlo world sampling dominates the running time of both MCP and
+ACP (paper Section 4), yet the sampled pool is a pure function of
+``(graph, seed, backend)``: world ``i``'s edge mask depends only on the
+root seed and ``i`` (sharded streams, :mod:`repro.sampling.parallel`),
+and the canonical labels depend only on the mask.  This module exploits
+that purity twice:
+
+Bit packing
+    A chunk of ``(r, m)`` boolean edge masks is stored as ``(r, w)``
+    ``uint64`` words (``w = ceil(m / 64)``) — an 8x memory cut over
+    numpy's byte-per-bool layout.  Masks are unpacked on demand, only
+    where a consumer genuinely needs booleans (e.g. building the
+    block-diagonal CSR for depth-limited queries).
+
+Content addressing
+    Pools are keyed by a SHA-256 digest of the graph's edge endpoints
+    and probabilities, the root seed, the backend name, and the chunk
+    size (:func:`pool_fingerprint`).  Any change to any input yields a
+    different digest, so a cache can never serve stale worlds — the
+    *invalidation contract*, pinned by ``tests/test_store.py`` and
+    documented in ``docs/ARCHITECTURE.md``.
+
+:class:`WorldStore` holds one growing pool per digest, either purely in
+memory or spilled to a disk directory (one subdirectory per digest with
+raw ``numpy`` files read back through :class:`numpy.memmap`).  Because
+cached and freshly drawn worlds are bit-identical, a
+:class:`~repro.sampling.oracle.MonteCarloOracle` can resume progressive
+sampling from a cached pool mid-schedule and extend it in place.
+
+Concurrency: reads are safe from any number of processes.  Disk
+appends take an advisory ``flock`` on the pool directory and re-read
+the on-disk world count first, so concurrent writers of the *same*
+pool trim each other's overlap instead of misaligning file rows (safe
+because any two writers produce identical rows — worlds are pure
+functions of their position).  A pool cleared externally while a
+writer is running simply stops being extended (the write is dropped,
+never misplaced).  In-memory stores are additionally guarded by a
+per-store thread lock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import WorldStoreError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.rng import ensure_seed_sequence
+
+__all__ = [
+    "WorldStore",
+    "pack_masks",
+    "packed_words",
+    "pool_fingerprint",
+    "unpack_masks",
+]
+
+#: Bits per packed word; masks are stored as ``uint64`` bitsets.
+WORD_BITS = 64
+
+#: On-disk format version; bumped on any layout change so old cache
+#: directories are treated as misses rather than misread.
+FORMAT_VERSION = 1
+
+_META_NAME = "meta.json"
+_MASKS_NAME = "masks.u64"
+_LABELS_NAME = "labels.i32"
+_LOCK_NAME = ".lock"
+
+#: Pool directories are named by their SHA-256 hex digest.
+_DIGEST_RE = re.compile(r"[0-9a-f]{64}")
+
+
+@contextmanager
+def _pool_write_lock(directory: Path):
+    """Advisory cross-process write lock on one pool directory."""
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    with open(directory / _LOCK_NAME, "a+b") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+def packed_words(n_edges: int) -> int:
+    """Number of ``uint64`` words needed to hold ``n_edges`` mask bits.
+
+    Examples
+    --------
+    >>> packed_words(0), packed_words(1), packed_words(64), packed_words(65)
+    (0, 1, 1, 2)
+    """
+    if n_edges < 0:
+        raise ValueError(f"n_edges must be non-negative, got {n_edges}")
+    return (int(n_edges) + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_masks(masks: np.ndarray) -> np.ndarray:
+    """Pack boolean edge masks into ``uint64`` bitset rows.
+
+    The result has shape ``(r, packed_words(m))`` and uses 1/8 of the
+    mask bytes (plus at most 7 bytes of padding per row).  Bit ``j`` of
+    row ``i`` — little-endian within each word — is ``masks[i, j]``.
+
+    Examples
+    --------
+    >>> masks = np.array([[True, False, True], [False, True, False]])
+    >>> packed = pack_masks(masks)
+    >>> packed.shape, packed.dtype.name
+    ((2, 1), 'uint64')
+    >>> bool(np.array_equal(unpack_masks(packed, 3), masks))
+    True
+    """
+    masks = np.ascontiguousarray(masks, dtype=bool)
+    if masks.ndim != 2:
+        raise ValueError(f"masks must be 2-D (worlds, edges), got shape {masks.shape}")
+    r, m = masks.shape
+    words = packed_words(m)
+    packed_bytes = np.packbits(masks, axis=1, bitorder="little")
+    row_bytes = words * (WORD_BITS // 8)
+    if packed_bytes.shape[1] != row_bytes:
+        padded = np.zeros((r, row_bytes), dtype=np.uint8)
+        padded[:, : packed_bytes.shape[1]] = packed_bytes
+        packed_bytes = padded
+    return np.ascontiguousarray(packed_bytes).view(np.uint64)
+
+
+def unpack_masks(packed: np.ndarray, n_edges: int) -> np.ndarray:
+    """Unpack ``uint64`` bitset rows back into boolean edge masks.
+
+    Inverse of :func:`pack_masks`: returns a ``(r, n_edges)`` boolean
+    array.  ``packed`` may be any array-like (including a
+    :class:`numpy.memmap` slice read back from disk).
+    """
+    packed = np.ascontiguousarray(packed, dtype=np.uint64)
+    if packed.ndim != 2:
+        raise ValueError(f"packed masks must be 2-D, got shape {packed.shape}")
+    words = packed_words(n_edges)
+    if packed.shape[1] != words:
+        raise ValueError(
+            f"packed rows hold {packed.shape[1]} words but {n_edges} edges need {words}"
+        )
+    if n_edges == 0:
+        return np.zeros((packed.shape[0], 0), dtype=bool)
+    bits = np.unpackbits(packed.view(np.uint8), axis=1, count=n_edges, bitorder="little")
+    return bits.view(np.bool_)
+
+
+def pool_fingerprint(graph: UncertainGraph, seed, backend_name: str, chunk_size: int) -> str:
+    """Content digest addressing one pool of sampled worlds.
+
+    The SHA-256 digest covers everything the pool content depends on:
+    the graph's node count, edge endpoints and probabilities, the root
+    seed (entropy + spawn key of the resolved
+    :class:`numpy.random.SeedSequence`), the world-labeling backend
+    name, and the oracle chunk size.  Mutating *any* of these yields a
+    different digest, so a cached pool can never be served for changed
+    inputs.  (Chunk size does not actually change the sampled worlds —
+    including it is deliberate conservatism, not a correctness need.)
+
+    Examples
+    --------
+    >>> g = UncertainGraph.from_edges([(0, 1, 0.5)])
+    >>> a = pool_fingerprint(g, 7, "unionfind", 512)
+    >>> a == pool_fingerprint(g, 7, "unionfind", 512)
+    True
+    >>> a == pool_fingerprint(g, 8, "unionfind", 512)
+    False
+    """
+    seed_seq = ensure_seed_sequence(seed)
+    digest = hashlib.sha256()
+    digest.update(b"repro-world-pool-v%d" % FORMAT_VERSION)
+    digest.update(str(graph.n_nodes).encode())
+    digest.update(np.ascontiguousarray(graph.edge_src, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.edge_dst, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.edge_prob, dtype=np.float64).tobytes())
+    digest.update(str(seed_seq.entropy).encode())
+    digest.update(repr(tuple(int(k) for k in seed_seq.spawn_key)).encode())
+    digest.update(str(backend_name).encode())
+    digest.update(str(int(chunk_size)).encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class PoolInfo:
+    """Summary of one stored pool (for ``repro cache info`` and tests)."""
+
+    digest: str
+    n_worlds: int
+    n_nodes: int
+    n_edges: int
+    words: int
+    mask_bytes: int
+    label_bytes: int
+    persistent: bool
+    backend: str = "?"
+    chunk_size: int = 0
+
+
+class _MemoryPool:
+    """In-memory pool: growing lists of packed-mask and label blocks."""
+
+    def __init__(self, meta: dict):
+        self.meta = meta
+        self.packed_parts: list[np.ndarray] = []
+        self.label_parts: list[np.ndarray] = []
+        self.count = 0
+
+    def read(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        # Slice only the parts the range touches: a warm oracle reads
+        # chunk by chunk, and rebuilding the whole pool per read would
+        # make warming quadratic in pool size.
+        packed_slices, label_slices = [], []
+        offset = 0
+        for packed, labels in zip(self.packed_parts, self.label_parts):
+            rows = packed.shape[0]
+            lo = max(start - offset, 0)
+            hi = min(stop - offset, rows)
+            if lo < hi:
+                packed_slices.append(packed[lo:hi])
+                label_slices.append(labels[lo:hi])
+            offset += rows
+            if offset >= stop:
+                break
+        if not packed_slices:
+            return _empty_packed(self.meta), _empty_labels(self.meta)
+        return (
+            np.concatenate(packed_slices, axis=0),
+            np.concatenate(label_slices, axis=0),
+        )
+
+    def append(self, packed: np.ndarray, labels: np.ndarray) -> None:
+        self.packed_parts.append(np.ascontiguousarray(packed, dtype=np.uint64))
+        self.label_parts.append(np.ascontiguousarray(labels, dtype=np.int32))
+        self.count += packed.shape[0]
+
+    def nbytes(self) -> tuple[int, int]:
+        return (
+            sum(part.nbytes for part in self.packed_parts),
+            sum(part.nbytes for part in self.label_parts),
+        )
+
+
+class _DiskPool:
+    """Disk-backed pool: raw append-only files + an atomic meta record.
+
+    Data rows are appended to ``masks.u64`` / ``labels.i32`` first and
+    the world count in ``meta.json`` is updated (atomically, via
+    ``os.replace``) last, so a torn append leaves trailing garbage that
+    no reader ever addresses.
+    """
+
+    def __init__(self, directory: Path, meta: dict):
+        self.directory = directory
+        self.meta = meta
+        self.count = int(meta.get("n_worlds", 0))
+
+    @property
+    def masks_path(self) -> Path:
+        return self.directory / _MASKS_NAME
+
+    @property
+    def labels_path(self) -> Path:
+        return self.directory / _LABELS_NAME
+
+    def _row_bytes(self) -> tuple[int, int]:
+        return int(self.meta["words"]) * 8, int(self.meta["n_nodes"]) * 4
+
+    def refresh(self, truncate: bool = False) -> None:
+        """Adopt the on-disk world count (another process may have grown
+        or cleared the pool since we registered).  With ``truncate=True``
+        — callers must hold the pool write lock — also restore the
+        file-rows == world-indices invariant by truncating any trailing
+        bytes a torn append left behind (never safe from the read path:
+        a concurrent writer's fresh rows look like trailing garbage
+        until its meta lands).  Unsound state resets the count to 0 —
+        re-sampling, never wrong worlds."""
+        count = 0
+        try:
+            with open(self.directory / _META_NAME, encoding="utf-8") as handle:
+                disk = json.load(handle)
+            if (
+                disk.get("format") == FORMAT_VERSION
+                and disk.get("digest") == self.meta["digest"]
+                and int(disk["n_worlds"]) >= 0
+            ):
+                count = int(disk["n_worlds"])
+        except (OSError, ValueError, KeyError, TypeError):
+            count = 0
+        mask_row, label_row = self._row_bytes()
+        for path, row_bytes in ((self.masks_path, mask_row), (self.labels_path, label_row)):
+            if not row_bytes:
+                continue
+            size = path.stat().st_size if path.exists() else 0
+            if size < count * row_bytes:
+                count = 0  # data cannot back the recorded count: reset
+        if truncate:
+            for path, row_bytes in ((self.masks_path, mask_row), (self.labels_path, label_row)):
+                if row_bytes and path.exists() and path.stat().st_size > count * row_bytes:
+                    os.truncate(path, count * row_bytes)
+        self.count = count
+        self.meta["n_worlds"] = count
+
+    def read(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        words = int(self.meta["words"])
+        n = int(self.meta["n_nodes"])
+        if words:
+            masks_map = np.memmap(
+                self.masks_path, dtype=np.uint64, mode="r", shape=(self.count, words)
+            )
+            packed = np.array(masks_map[start:stop])
+            del masks_map
+        else:
+            packed = np.zeros((stop - start, 0), dtype=np.uint64)
+        labels_map = np.memmap(
+            self.labels_path, dtype=np.int32, mode="r", shape=(self.count, n)
+        )
+        labels = np.array(labels_map[start:stop])
+        del labels_map
+        return packed, labels
+
+    def append(self, packed: np.ndarray, labels: np.ndarray) -> None:
+        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+        labels = np.ascontiguousarray(labels, dtype=np.int32)
+        if packed.shape[1]:
+            with open(self.masks_path, "ab") as handle:
+                handle.write(packed.tobytes())
+        with open(self.labels_path, "ab") as handle:
+            handle.write(labels.tobytes())
+        self.count += packed.shape[0]
+        self.meta["n_worlds"] = self.count
+        _write_meta(self.directory, self.meta)
+
+    def nbytes(self) -> tuple[int, int]:
+        words = int(self.meta["words"])
+        n = int(self.meta["n_nodes"])
+        return (self.count * words * 8, self.count * n * 4)
+
+
+def _empty_packed(meta: dict) -> np.ndarray:
+    return np.zeros((0, int(meta["words"])), dtype=np.uint64)
+
+
+def _empty_labels(meta: dict) -> np.ndarray:
+    return np.zeros((0, int(meta["n_nodes"])), dtype=np.int32)
+
+
+def _write_meta(directory: Path, meta: dict) -> None:
+    tmp = directory / (_META_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, directory / _META_NAME)
+
+
+class WorldStore:
+    """Content-addressed store of bit-packed world pools.
+
+    Parameters
+    ----------
+    cache_dir:
+        ``None`` keeps every pool in memory (useful for sharing pools
+        between oracles inside one process).  A directory path spills
+        pools to disk — one subdirectory per digest, raw binary data
+        files read back through :class:`numpy.memmap` — so pools
+        persist across process runs.  The directory is created lazily
+        on the first append.
+
+    Examples
+    --------
+    >>> from repro.sampling.oracle import MonteCarloOracle
+    >>> g = UncertainGraph.from_edges([(0, 1, 0.5), (1, 2, 0.5)])
+    >>> store = WorldStore()                     # in-memory
+    >>> with MonteCarloOracle(g, seed=7, store=store) as oracle:
+    ...     oracle.ensure_samples(100)
+    >>> [pool.n_worlds for pool in store.info()]
+    [100]
+    >>> with MonteCarloOracle(g, seed=7, store=store) as warm:
+    ...     warm.ensure_samples(100)             # served from the store
+    ...     warm.cache_stats["worlds_cached"]
+    100
+    """
+
+    def __init__(self, cache_dir: str | os.PathLike | None = None):
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._pools: dict[str, _MemoryPool | _DiskPool] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def cache_dir(self) -> Path | None:
+        """Spill directory, or ``None`` for a purely in-memory store."""
+        return self._cache_dir
+
+    @property
+    def persistent(self) -> bool:
+        return self._cache_dir is not None
+
+    # ------------------------------------------------------------------
+    # Pool registry
+    # ------------------------------------------------------------------
+
+    def register(
+        self, graph: UncertainGraph, seed, backend_name: str, chunk_size: int
+    ) -> str:
+        """Resolve (and, on disk, validate) the pool for these inputs.
+
+        Returns the pool digest used by :meth:`count` / :meth:`read` /
+        :meth:`append`.  A disk pool whose metadata or data files are
+        missing, truncated, or inconsistent is discarded and treated as
+        empty — corruption can cost re-sampling, never wrong worlds.
+        """
+        digest = pool_fingerprint(graph, seed, backend_name, chunk_size)
+        meta = {
+            "format": FORMAT_VERSION,
+            "digest": digest,
+            "n_worlds": 0,
+            "n_nodes": int(graph.n_nodes),
+            "n_edges": int(graph.n_edges),
+            "words": packed_words(graph.n_edges),
+            "backend": str(backend_name),
+            "chunk_size": int(chunk_size),
+        }
+        with self._lock:
+            pool = self._pools.get(digest)
+            if pool is not None and not isinstance(pool, _DiskPool):
+                return digest
+            if self._cache_dir is None:
+                self._pools[digest] = _MemoryPool(meta)
+            else:
+                # Disk pools are (re-)validated on every register, even
+                # when _scan_disk already listed them: scanning only
+                # reads metadata, and the corruption-recovery contract
+                # (reset, never crash) must hold for oracle attachment.
+                directory = self._cache_dir / digest
+                disk_meta = self._load_valid_meta(directory, meta)
+                self._pools[digest] = _DiskPool(directory, disk_meta)
+        return digest
+
+    def _load_valid_meta(self, directory: Path, fresh_meta: dict) -> dict:
+        """Validate an existing pool directory; reset it when unsound."""
+        meta_path = directory / _META_NAME
+        if not meta_path.exists():
+            return dict(fresh_meta)
+        try:
+            with open(meta_path, encoding="utf-8") as handle:
+                meta = json.load(handle)
+            count = int(meta["n_worlds"])
+            ok = (
+                meta.get("format") == FORMAT_VERSION
+                and meta.get("digest") == fresh_meta["digest"]
+                and int(meta["n_nodes"]) == fresh_meta["n_nodes"]
+                and int(meta["words"]) == fresh_meta["words"]
+                and count >= 0
+            )
+            if ok and count:
+                words = int(meta["words"])
+                if words:
+                    ok = (directory / _MASKS_NAME).stat().st_size >= count * words * 8
+                ok = ok and (
+                    (directory / _LABELS_NAME).stat().st_size
+                    >= count * fresh_meta["n_nodes"] * 4
+                )
+            if ok:
+                merged = dict(fresh_meta)
+                merged["n_worlds"] = count
+                return merged
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+        shutil.rmtree(directory, ignore_errors=True)
+        return dict(fresh_meta)
+
+    def _pool(self, digest: str):
+        try:
+            return self._pools[digest]
+        except KeyError:
+            raise WorldStoreError(
+                f"unknown pool digest {digest[:12]}...; call register() first"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Pool access
+    # ------------------------------------------------------------------
+
+    def count(self, digest: str) -> int:
+        """Worlds currently stored for ``digest``.
+
+        Disk pools re-read the on-disk count, so growth (or clearing)
+        by another process is observed before the next read or append.
+        """
+        pool = self._pool(digest)
+        if isinstance(pool, _DiskPool):
+            with self._lock:
+                pool.refresh()
+        return pool.count
+
+    def read(self, digest: str, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        """Packed masks and labels of stored worlds ``[start, stop)``.
+
+        Returns ``(packed, labels)`` of shapes ``(rows, words)`` uint64
+        and ``(rows, n)`` int32 — plain in-memory arrays (disk pools are
+        copied out of their memmap so no file handle outlives the call).
+        """
+        pool = self._pool(digest)
+        if not 0 <= start <= stop <= pool.count:
+            raise WorldStoreError(
+                f"read range [{start}, {stop}) outside stored pool of {pool.count} worlds"
+            )
+        return pool.read(start, stop)
+
+    def append(self, digest: str, start: int, packed: np.ndarray, labels: np.ndarray) -> int:
+        """Append worlds ``[start, start + rows)``; returns the new count.
+
+        ``start`` is the absolute pool position of the first appended
+        world.  Rows the store already holds are silently dropped
+        (safe: worlds are pure functions of their position, so any two
+        writers produce identical rows).  A gap beyond the current end
+        raises :class:`~repro.exceptions.WorldStoreError` for in-memory
+        pools (a same-process logic error); for disk pools — where a
+        gap means another process cleared the pool out from under us —
+        the write is dropped and the current count returned, keeping
+        the cache best-effort instead of failing the sampling run.
+
+        Disk appends hold an advisory ``flock`` on the pool directory
+        and re-read the on-disk count first, so concurrent writers of
+        the same pool interleave safely (each extends whatever the
+        other already persisted).
+        """
+        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+        labels = np.ascontiguousarray(labels, dtype=np.int32)
+        if packed.shape[0] != labels.shape[0]:
+            raise WorldStoreError(
+                f"packed/labels row mismatch: {packed.shape[0]} vs {labels.shape[0]}"
+            )
+        with self._lock:
+            pool = self._pool(digest)
+            if isinstance(pool, _DiskPool):
+                pool.directory.mkdir(parents=True, exist_ok=True)
+                with _pool_write_lock(pool.directory):
+                    pool.refresh(truncate=True)
+                    if start > pool.count:
+                        return pool.count  # pool was cleared underneath us
+                    skip = pool.count - start
+                    if skip < packed.shape[0]:
+                        if not (pool.directory / _META_NAME).exists():
+                            _write_meta(pool.directory, pool.meta)
+                        pool.append(packed[skip:], labels[skip:])
+                return pool.count
+            if start > pool.count:
+                raise WorldStoreError(
+                    f"append at {start} would leave a gap (pool has {pool.count} worlds)"
+                )
+            skip = pool.count - start
+            if skip < packed.shape[0]:
+                pool.append(packed[skip:], labels[skip:])
+            return pool.count
+
+    # ------------------------------------------------------------------
+    # Maintenance (CLI `repro cache {info,clear}`)
+    # ------------------------------------------------------------------
+
+    def _scan_disk(self) -> None:
+        """Register every pool directory found under ``cache_dir``."""
+        if self._cache_dir is None or not self._cache_dir.is_dir():
+            return
+        for entry in sorted(self._cache_dir.iterdir()):
+            meta_path = entry / _META_NAME
+            if entry.name in self._pools or not meta_path.is_file():
+                continue
+            try:
+                with open(meta_path, encoding="utf-8") as handle:
+                    meta = json.load(handle)
+                if meta.get("format") != FORMAT_VERSION or meta.get("digest") != entry.name:
+                    continue
+                # Coerce the required keys now so a meta.json missing any
+                # of them is skipped here instead of crashing info() later.
+                for key in ("n_worlds", "n_nodes", "n_edges", "words"):
+                    meta[key] = int(meta[key])
+                with self._lock:
+                    self._pools.setdefault(entry.name, _DiskPool(entry, meta))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+
+    def info(self) -> list[PoolInfo]:
+        """One :class:`PoolInfo` per stored pool (disk pools included)."""
+        self._scan_disk()
+        rows = []
+        for digest in sorted(self._pools):
+            pool = self._pools[digest]
+            mask_bytes, label_bytes = pool.nbytes()
+            rows.append(
+                PoolInfo(
+                    digest=digest,
+                    n_worlds=pool.count,
+                    n_nodes=int(pool.meta["n_nodes"]),
+                    n_edges=int(pool.meta["n_edges"]),
+                    words=int(pool.meta["words"]),
+                    mask_bytes=mask_bytes,
+                    label_bytes=label_bytes,
+                    persistent=isinstance(pool, _DiskPool),
+                    backend=str(pool.meta.get("backend", "?")),
+                    chunk_size=int(pool.meta.get("chunk_size", 0)),
+                )
+            )
+        return rows
+
+    def clear(self, digest: str | None = None) -> int:
+        """Drop one pool (or all of them); returns how many were removed.
+
+        On a disk store this removes the named directories themselves,
+        including pool directories whose metadata is corrupt or from an
+        older format version — ``clear`` is the recovery tool, so it
+        must not skip exactly the pools that failed to register.
+        """
+        self._scan_disk()
+        with self._lock:
+            digests = [digest] if digest is not None else list(self._pools)
+            removed = 0
+            for key in digests:
+                pool = self._pools.pop(key, None)
+                if isinstance(pool, _DiskPool):
+                    shutil.rmtree(pool.directory, ignore_errors=True)
+                if pool is not None:
+                    removed += 1
+            if self._cache_dir is not None and self._cache_dir.is_dir():
+                # Sweep unregistered leftovers (corrupt meta, old format)
+                # — but only directories that look like pools (64-hex
+                # digest name + meta file), so clearing a mistyped path
+                # can never destroy unrelated user data.
+                leftovers = (
+                    [self._cache_dir / digest] if digest is not None
+                    else list(self._cache_dir.iterdir())
+                )
+                for entry in leftovers:
+                    if (
+                        entry.is_dir()
+                        and _DIGEST_RE.fullmatch(entry.name)
+                        and (entry / _META_NAME).exists()
+                    ):
+                        shutil.rmtree(entry, ignore_errors=True)
+                        removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        where = str(self._cache_dir) if self._cache_dir is not None else "memory"
+        return f"WorldStore(pools={len(self._pools)}, cache_dir={where!r})"

@@ -148,6 +148,64 @@ class TestGenerate:
         assert clusters.read_text().count("\n") > 20
 
 
+class TestWorldCache:
+    def test_estimate_populates_and_reuses_cache(self, graph_file, tmp_path, capsys):
+        cache = str(tmp_path / "wc")
+        args = ["estimate", graph_file, "0", "1", "--samples", "600",
+                "--world-cache", cache]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0  # second run is served from the cache
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+        assert main(["cache", "info", cache]) == 0
+        out = capsys.readouterr().out
+        assert "1 pool(s)" in out
+        assert "600" in out
+
+    def test_cluster_accepts_world_cache(self, graph_file, tmp_path, capsys):
+        cache = str(tmp_path / "wc")
+        out_path = tmp_path / "c.tsv"
+        args = ["cluster", graph_file, "--algorithm", "mcp", "--k", "2",
+                "--samples", "200", "--world-cache", cache, "-o", str(out_path)]
+        assert main(args) == 0
+        cold = out_path.read_text()
+        assert main(args) == 0
+        assert out_path.read_text() == cold
+        assert main(["cache", "info", cache]) == 0
+        assert "pool(s)" in capsys.readouterr().out
+
+    def test_cache_clear(self, graph_file, tmp_path, capsys):
+        cache = str(tmp_path / "wc")
+        assert main(["estimate", graph_file, "0", "1", "--samples", "100",
+                     "--world-cache", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", cache]) == 0
+        assert "removed 1 pool(s)" in capsys.readouterr().err
+        assert main(["cache", "info", cache]) == 0
+        assert "no cached pools" in capsys.readouterr().out
+
+    def test_cache_clear_digest_prefix(self, graph_file, tmp_path, capsys):
+        cache = str(tmp_path / "wc")
+        assert main(["estimate", graph_file, "0", "1", "--samples", "100",
+                     "--world-cache", cache]) == 0
+        capsys.readouterr()
+        from repro.sampling.store import WorldStore
+
+        (pool,) = WorldStore(cache).info()
+        assert main(["cache", "clear", cache, "--digest", pool.digest[:8]]) == 0
+        assert "removed 1 pool(s)" in capsys.readouterr().err
+
+    def test_cache_clear_unknown_digest(self, tmp_path, capsys):
+        assert main(["cache", "clear", str(tmp_path), "--digest", "ffff"]) == 2
+        assert "no cached pool" in capsys.readouterr().err
+
+    def test_cache_info_empty_dir(self, tmp_path, capsys):
+        assert main(["cache", "info", str(tmp_path / "missing")]) == 0
+        assert "no cached pools" in capsys.readouterr().out
+
+
 class TestMeta:
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

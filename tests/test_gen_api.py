@@ -1,0 +1,108 @@
+"""Tests for the API reference generator / docstring gate (docs/gen_api.py)."""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GEN_API = REPO_ROOT / "docs" / "gen_api.py"
+
+sys.path.insert(0, str(GEN_API.parent))
+import gen_api  # noqa: E402
+
+
+@pytest.fixture
+def fake_package(tmp_path, monkeypatch):
+    """A tiny importable package the generator can walk."""
+    pkg = tmp_path / "fakepkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('"""Fake package."""\n')
+    (pkg / "good.py").write_text(
+        textwrap.dedent(
+            '''
+            """A documented module.
+
+            Examples
+            --------
+            >>> 1 + 1
+            2
+            """
+
+            def add(a, b):
+                """Add two numbers.
+
+                >>> add(2, 3)
+                5
+                """
+                return a + b
+
+            class Thing:
+                """A documented class."""
+
+                @property
+                def value(self):
+                    """The value."""
+                    return 1
+            '''
+        )
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    for name in [n for n in sys.modules if n.split(".")[0] == "fakepkg"]:
+        del sys.modules[name]
+    yield pkg
+    for name in [n for n in sys.modules if n.split(".")[0] == "fakepkg"]:
+        del sys.modules[name]
+
+
+class TestBuild:
+    def test_builds_markdown_pages(self, fake_package, tmp_path, capsys):
+        out = tmp_path / "api"
+        assert gen_api.build("fakepkg", out) == 0
+        index = (out / "index.md").read_text()
+        assert "fakepkg/good.md" in index
+        page = (out / "fakepkg" / "good.md").read_text()
+        assert "### `add(a, b)`" in page
+        assert ">>> add(2, 3)" in page
+        assert "`value`** (property)" in page
+
+    def test_check_mode_writes_nothing(self, fake_package, tmp_path):
+        out = tmp_path / "api"
+        assert gen_api.build("fakepkg", None) == 0
+        assert not out.exists()
+
+    def test_missing_docstring_warns_but_passes(self, fake_package, tmp_path, capsys):
+        (fake_package / "bare.py").write_text("def undocumented():\n    return 1\n")
+        assert gen_api.build("fakepkg", None) == 0
+        assert "undocumented: public function has no docstring" in capsys.readouterr().err
+
+    def test_malformed_doctest_fails(self, fake_package, capsys):
+        (fake_package / "broken.py").write_text(
+            '"""Module.\n\n>>>print(1)\n"""\n'
+        )
+        # A `>>>` prompt with no space before the source is the classic
+        # doctest syntax error ("lacks blank after >>>") the gate must catch.
+        assert gen_api.build("fakepkg", None) == 1
+        assert "docstring syntax error" in capsys.readouterr().err
+
+    def test_import_error_fails(self, fake_package, capsys):
+        (fake_package / "crash.py").write_text("raise RuntimeError('boom')\n")
+        assert gen_api.build("fakepkg", None) == 1
+        assert "import failed" in capsys.readouterr().err
+
+
+class TestRealPackage:
+    def test_repro_reference_builds_clean(self, tmp_path):
+        """The real package must pass its own docstring gate."""
+        result = subprocess.run(
+            [sys.executable, str(GEN_API), "-o", str(tmp_path / "api")],
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "0 errors" in result.stdout
+        assert (tmp_path / "api" / "repro" / "sampling" / "store.md").exists()

@@ -1,0 +1,451 @@
+"""Tests for the bit-packed, content-addressed world store.
+
+Pins the PR-3 invariants:
+
+* packed masks roundtrip bit-exactly and use ~1/8 of the boolean bytes;
+* a warm run of the same ``(graph, seed, backend, chunk_size)`` pool
+  performs **zero** new mask sampling and returns bit-identical labels
+  (the cross-run oracle-reuse acceptance criterion);
+* the cache-invalidation contract: mutating edge probabilities, seed,
+  backend, or chunk size misses the cache;
+* disk pools persist across store instances, resume progressive
+  sampling mid-schedule, and treat corruption as a miss.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorldStoreError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.sampling.oracle import MonteCarloOracle
+from repro.sampling.parallel import ParallelSampler
+from repro.sampling.store import (
+    WorldStore,
+    pack_masks,
+    packed_words,
+    pool_fingerprint,
+    unpack_masks,
+)
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(0)
+    edges = []
+    for _ in range(200):
+        u, v = rng.choice(60, size=2, replace=False)
+        edges.append((int(u), int(v), float(rng.uniform(0.05, 0.95))))
+    return UncertainGraph.from_edges(edges, nodes=range(60), merge="first")
+
+
+class SamplerSpy:
+    """Counts ParallelSampler.sample_chunk calls and sampled worlds."""
+
+    def __init__(self, monkeypatch):
+        self.calls = 0
+        self.worlds = 0
+        original = ParallelSampler.sample_chunk
+
+        def spy(sampler, root, start, count):
+            self.calls += 1
+            self.worlds += count
+            return original(sampler, root, start, count)
+
+        monkeypatch.setattr(ParallelSampler, "sample_chunk", spy)
+
+
+class TestPacking:
+    @pytest.mark.parametrize("r,m", [(0, 5), (1, 1), (3, 63), (4, 64), (5, 65), (7, 200), (2, 0)])
+    def test_roundtrip(self, r, m):
+        rng = np.random.default_rng(r * 100 + m)
+        masks = rng.random((r, m)) < 0.5
+        packed = pack_masks(masks)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (r, packed_words(m))
+        assert np.array_equal(unpack_masks(packed, m), masks)
+
+    def test_eight_fold_memory_cut(self):
+        # Acceptance criterion: packed bytes <= ~1/8 of boolean bytes.
+        # 640 edges = exactly 10 words, so the ratio is exactly 8 here.
+        masks = np.random.default_rng(1).random((256, 640)) < 0.3
+        packed = pack_masks(masks)
+        assert packed.nbytes * 8 == masks.nbytes
+        # Padding never costs more than 7 bytes per row.
+        ragged = np.random.default_rng(2).random((64, 129)) < 0.3
+        assert pack_masks(ragged).nbytes <= ragged.nbytes / 8 + 8 * 64
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            pack_masks(np.zeros(4, dtype=bool))
+        with pytest.raises(ValueError):
+            unpack_masks(np.zeros((2, 2), dtype=np.uint64), 200)
+
+    def test_memmap_roundtrip(self, tmp_path):
+        masks = np.random.default_rng(3).random((10, 100)) < 0.4
+        packed = pack_masks(masks)
+        path = tmp_path / "masks.u64"
+        path.write_bytes(packed.tobytes())
+        view = np.memmap(path, dtype=np.uint64, mode="r", shape=packed.shape)
+        assert np.array_equal(unpack_masks(view[3:7], 100), masks[3:7])
+
+
+class TestFingerprint:
+    def test_deterministic(self, graph):
+        a = pool_fingerprint(graph, 7, "unionfind", 512)
+        b = pool_fingerprint(graph, 7, "unionfind", 512)
+        assert a == b and len(a) == 64
+
+    def test_seed_sequence_equivalent_to_int(self, graph):
+        assert pool_fingerprint(graph, 7, "scipy", 64) == pool_fingerprint(
+            graph, np.random.SeedSequence(7), "scipy", 64
+        )
+
+    def test_every_input_invalidates(self, graph):
+        base = pool_fingerprint(graph, 7, "unionfind", 512)
+        assert pool_fingerprint(graph, 8, "unionfind", 512) != base
+        assert pool_fingerprint(graph, 7, "scipy", 512) != base
+        assert pool_fingerprint(graph, 7, "unionfind", 256) != base
+
+    def test_probability_mutation_invalidates(self, graph):
+        base = pool_fingerprint(graph, 7, "unionfind", 512)
+        prob = graph.edge_prob.copy()
+        prob[0] = min(1.0, prob[0] + 1e-9)
+        mutated = UncertainGraph(
+            graph.n_nodes, graph.edge_src, graph.edge_dst, prob, validate=False
+        )
+        assert pool_fingerprint(mutated, 7, "unionfind", 512) != base
+
+    def test_edge_mutation_invalidates(self, graph):
+        base = pool_fingerprint(graph, 7, "unionfind", 512)
+        sub = graph.subgraph(np.arange(graph.n_nodes - 1))
+        assert pool_fingerprint(sub, 7, "unionfind", 512) != base
+
+
+class TestWorldStoreUnit:
+    def test_register_read_append(self, graph):
+        store = WorldStore()
+        digest = store.register(graph, 7, "scipy", 64)
+        assert store.count(digest) == 0
+        packed = pack_masks(np.random.default_rng(0).random((10, graph.n_edges)) < 0.5)
+        labels = np.zeros((10, graph.n_nodes), dtype=np.int32)
+        assert store.append(digest, 0, packed, labels) == 10
+        got_packed, got_labels = store.read(digest, 2, 9)
+        assert np.array_equal(got_packed, packed[2:9])
+        assert got_labels.shape == (7, graph.n_nodes)
+
+    def test_overlapping_append_trimmed(self, graph):
+        store = WorldStore()
+        digest = store.register(graph, 7, "scipy", 64)
+        packed = pack_masks(np.random.default_rng(0).random((10, graph.n_edges)) < 0.5)
+        labels = np.arange(10 * graph.n_nodes, dtype=np.int32).reshape(10, -1)
+        store.append(digest, 0, packed, labels)
+        # Re-appending the same rows (plus 2 new ones) keeps 12 total.
+        more_packed = np.concatenate([packed[5:], packed[:2]])
+        more_labels = np.concatenate([labels[5:], labels[:2]])
+        assert store.append(digest, 5, more_packed, more_labels) == 12
+        assert store.count(digest) == 12
+
+    def test_gap_append_rejected(self, graph):
+        store = WorldStore()
+        digest = store.register(graph, 7, "scipy", 64)
+        packed = pack_masks(np.zeros((1, graph.n_edges), dtype=bool))
+        with pytest.raises(WorldStoreError):
+            store.append(digest, 5, packed, np.zeros((1, graph.n_nodes), dtype=np.int32))
+
+    def test_read_out_of_range(self, graph):
+        store = WorldStore()
+        digest = store.register(graph, 7, "scipy", 64)
+        with pytest.raises(WorldStoreError):
+            store.read(digest, 0, 1)
+
+    def test_unknown_digest(self):
+        with pytest.raises(WorldStoreError):
+            WorldStore().count("deadbeef")
+
+    def test_info_and_clear(self, graph, tmp_path):
+        store = WorldStore(tmp_path / "cache")
+        with MonteCarloOracle(graph, seed=3, chunk_size=32, store=store) as oracle:
+            oracle.ensure_samples(64)
+        (pool,) = store.info()
+        assert pool.n_worlds == 64
+        assert pool.persistent
+        assert pool.mask_bytes == 64 * packed_words(graph.n_edges) * 8
+        assert pool.label_bytes == 64 * graph.n_nodes * 4
+        assert store.clear() == 1
+        assert store.info() == []
+
+
+class TestOracleReuse:
+    def test_warm_run_zero_sampling_bit_identical(self, graph, monkeypatch):
+        """The acceptance criterion: a cached second run samples nothing."""
+        store = WorldStore()
+        with MonteCarloOracle(graph, seed=11, chunk_size=64, store=store) as cold:
+            cold.ensure_samples(200)
+            cold_labels = cold.component_labels
+            assert cold.cache_stats == {"worlds_cached": 0, "worlds_sampled": 200}
+
+        spy = SamplerSpy(monkeypatch)
+        with MonteCarloOracle(graph, seed=11, chunk_size=64, store=store) as warm:
+            warm.ensure_samples(200)
+            assert spy.calls == 0
+            assert spy.worlds == 0
+            assert warm.cache_stats == {"worlds_cached": 200, "worlds_sampled": 0}
+            assert np.array_equal(warm.component_labels, cold_labels)
+
+    def test_mid_schedule_resume(self, graph, monkeypatch):
+        """A warm oracle resumes progressive sampling where the cache ends."""
+        store = WorldStore()
+        with MonteCarloOracle(graph, seed=5, chunk_size=64, store=store) as cold:
+            cold.ensure_samples(100)
+
+        spy = SamplerSpy(monkeypatch)
+        with MonteCarloOracle(graph, seed=5, chunk_size=64, store=store) as warm:
+            warm.ensure_samples(300)
+            assert spy.worlds == 200  # only the uncached tail is drawn
+        with MonteCarloOracle(graph, seed=5, chunk_size=64) as fresh:
+            fresh.ensure_samples(300)
+            with MonteCarloOracle(graph, seed=5, chunk_size=64, store=store) as check:
+                check.ensure_samples(300)
+                assert np.array_equal(check.component_labels, fresh.component_labels)
+
+    def test_queries_identical_with_and_without_store(self, graph):
+        store = WorldStore()
+        with MonteCarloOracle(graph, seed=2, chunk_size=32, store=store) as a:
+            a.ensure_samples(96)
+        with MonteCarloOracle(graph, seed=2, chunk_size=32, store=store) as warm, \
+                MonteCarloOracle(graph, seed=2, chunk_size=32) as plain:
+            warm.ensure_samples(96)
+            plain.ensure_samples(96)
+            assert warm.connection(0, 1) == plain.connection(0, 1)
+            assert np.array_equal(
+                warm.connection_to_all(3, depth=2), plain.connection_to_all(3, depth=2)
+            )
+            assert np.array_equal(
+                warm.pairwise_matrix([0, 1, 2]), plain.pairwise_matrix([0, 1, 2])
+            )
+
+    def test_cache_misses_on_changed_inputs(self, graph, monkeypatch):
+        """Invalidation contract end to end: any input change resamples."""
+        store = WorldStore()
+        with MonteCarloOracle(graph, seed=1, chunk_size=64, store=store) as cold:
+            cold.ensure_samples(64)
+
+        prob = graph.edge_prob.copy()
+        prob[0] = prob[0] * 0.5
+        mutated = UncertainGraph(
+            graph.n_nodes, graph.edge_src, graph.edge_dst, prob, validate=False
+        )
+        for variant in (
+            dict(graph=mutated, seed=1, chunk_size=64),        # edge prob changed
+            dict(graph=graph, seed=2, chunk_size=64),          # seed changed
+            dict(graph=graph, seed=1, chunk_size=32),          # chunk size changed
+            dict(graph=graph, seed=1, chunk_size=64, backend="unionfind"),
+        ):
+            spy = SamplerSpy(monkeypatch)
+            kwargs = dict(variant)
+            target = kwargs.pop("graph")
+            with MonteCarloOracle(target, store=store, **kwargs) as oracle:
+                oracle.ensure_samples(64)
+                assert spy.worlds == 64, f"variant {variant} should miss the cache"
+
+    def test_store_and_cache_dir_mutually_exclusive(self, graph, tmp_path):
+        with pytest.raises(ValueError):
+            MonteCarloOracle(graph, store=WorldStore(), cache_dir=tmp_path)
+
+    def test_packed_pool_memory(self, graph):
+        with MonteCarloOracle(graph, seed=0, chunk_size=64) as oracle:
+            oracle.ensure_samples(256)
+            boolean_bytes = 256 * graph.n_edges  # the pre-PR-3 representation
+            assert oracle.packed_mask_nbytes <= boolean_bytes / 8 + 8 * 256
+
+
+class TestDiskPersistence:
+    def test_cross_instance_reuse(self, graph, tmp_path, monkeypatch):
+        cache = tmp_path / "worlds"
+        with MonteCarloOracle(graph, seed=9, chunk_size=64, cache_dir=cache) as cold:
+            cold.ensure_samples(128)
+            cold_labels = cold.component_labels
+
+        # A brand-new store instance over the same directory (as a new
+        # process would build) serves the pool without sampling.
+        spy = SamplerSpy(monkeypatch)
+        with MonteCarloOracle(graph, seed=9, chunk_size=64, cache_dir=cache) as warm:
+            warm.ensure_samples(128)
+            assert spy.calls == 0
+            assert np.array_equal(warm.component_labels, cold_labels)
+
+    def test_disk_layout(self, graph, tmp_path):
+        cache = tmp_path / "worlds"
+        with MonteCarloOracle(graph, seed=9, chunk_size=64, cache_dir=cache) as oracle:
+            oracle.ensure_samples(100)
+            digest = oracle.pool_digest
+        pool_dir = cache / digest
+        meta = json.loads((pool_dir / "meta.json").read_text())
+        words = packed_words(graph.n_edges)
+        assert meta["n_worlds"] == 100
+        assert (pool_dir / "masks.u64").stat().st_size == 100 * words * 8
+        assert (pool_dir / "labels.i32").stat().st_size == 100 * graph.n_nodes * 4
+
+    def test_truncated_data_treated_as_miss(self, graph, tmp_path, monkeypatch):
+        cache = tmp_path / "worlds"
+        with MonteCarloOracle(graph, seed=4, chunk_size=32, cache_dir=cache) as cold:
+            cold.ensure_samples(64)
+            cold_labels = cold.component_labels
+            digest = cold.pool_digest
+        masks_path = cache / digest / "masks.u64"
+        masks_path.write_bytes(masks_path.read_bytes()[:-8])
+
+        spy = SamplerSpy(monkeypatch)
+        with MonteCarloOracle(graph, seed=4, chunk_size=32, cache_dir=cache) as redo:
+            redo.ensure_samples(64)
+            assert spy.worlds == 64  # corruption cost re-sampling, not wrong data
+            assert np.array_equal(redo.component_labels, cold_labels)
+
+    def test_corruption_after_scan_still_treated_as_miss(self, graph, tmp_path, monkeypatch):
+        """register() re-validates pools that _scan_disk pre-registered."""
+        cache = tmp_path / "worlds"
+        with MonteCarloOracle(graph, seed=4, chunk_size=32, cache_dir=cache) as cold:
+            cold.ensure_samples(64)
+            digest = cold.pool_digest
+        labels_path = cache / digest / "labels.i32"
+        labels_path.write_bytes(labels_path.read_bytes()[:-4])
+
+        store = WorldStore(cache)
+        store.info()  # scans (and registers) the now-corrupt pool
+        spy = SamplerSpy(monkeypatch)
+        with MonteCarloOracle(graph, seed=4, chunk_size=32, store=store) as redo:
+            redo.ensure_samples(64)  # must reset and resample, not crash
+            assert spy.worlds == 64
+
+    def test_clear_removes_unrecognized_pool_dirs(self, graph, tmp_path):
+        """clear() is the recovery tool: it sweeps corrupt/old-format pools."""
+        cache = tmp_path / "worlds"
+        with MonteCarloOracle(graph, seed=4, chunk_size=32, cache_dir=cache) as cold:
+            cold.ensure_samples(32)
+            digest = cold.pool_digest
+        meta_path = cache / digest / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format"] = 0  # an old format version _scan_disk rejects
+        meta_path.write_text(json.dumps(meta))
+
+        store = WorldStore(cache)
+        assert store.info() == []  # unrecognized, not listed
+        assert store.clear() == 1  # ... but still removed
+        assert not (cache / digest).exists()
+
+    def test_stale_writer_append_does_not_misalign(self, graph, tmp_path):
+        """A writer that registered a cold pool must trim against the
+        on-disk count at append time: two processes racing on a cold
+        cache used to double-append rows 0..n at file rows n..2n,
+        silently serving wrong worlds to every later reader."""
+        cache = tmp_path / "worlds"
+        stale = WorldStore(cache)
+        digest = stale.register(graph, 13, "scipy", 64)  # sees count=0
+
+        with MonteCarloOracle(graph, seed=13, chunk_size=64, cache_dir=cache) as a:
+            a.ensure_samples(64)  # "process A" persists worlds 0..63
+
+        # The stale writer now appends worlds 0..127 from its own view.
+        with MonteCarloOracle(graph, seed=13, chunk_size=128) as b:
+            b.ensure_samples(128)
+            packed = pack_masks(
+                np.concatenate([unpack_masks(c, graph.n_edges) for c in b._packed_chunks])
+            )
+            labels = b.component_labels
+        assert stale.append(digest, 0, packed, labels) == 128
+
+        with MonteCarloOracle(graph, seed=13, chunk_size=64, cache_dir=cache) as warm:
+            warm.ensure_samples(128)
+            assert warm.cache_stats["worlds_sampled"] == 0
+            assert np.array_equal(warm.component_labels, labels)
+
+    def test_disk_append_after_external_clear_is_dropped(self, graph, tmp_path):
+        """Clearing a pool under a live writer drops its writes (best
+        effort) instead of raising or leaving a gap on disk."""
+        cache = tmp_path / "worlds"
+        store = WorldStore(cache)
+        digest = store.register(graph, 6, "scipy", 32)
+        packed = pack_masks(np.zeros((32, graph.n_edges), dtype=bool))
+        labels = np.zeros((32, graph.n_nodes), dtype=np.int32)
+        store.append(digest, 0, packed, labels)
+        WorldStore(cache).clear()  # "another process" clears the pool
+        assert store.append(digest, 32, packed, labels) == 0
+        assert store.count(digest) == 0
+
+    def test_clear_never_touches_non_pool_dirs(self, graph, tmp_path):
+        """clear() must not delete directories that merely contain a
+        file named meta.json — only 64-hex digest-named pool dirs."""
+        cache = tmp_path / "worlds"
+        with MonteCarloOracle(graph, seed=4, chunk_size=32, cache_dir=cache) as cold:
+            cold.ensure_samples(32)
+        bystander = cache / "my-dataset"
+        bystander.mkdir()
+        (bystander / "meta.json").write_text('{"unrelated": true}')
+        (bystander / "precious.txt").write_text("do not delete")
+        assert WorldStore(cache).clear() == 1  # the pool, not the bystander
+        assert (bystander / "precious.txt").exists()
+
+    def test_read_failure_mid_warm_load_falls_back_to_sampling(
+        self, graph, tmp_path, monkeypatch
+    ):
+        """A pool vanishing between count() and read() (cross-process
+        clear) must cost re-sampling, not abort the run."""
+        cache = tmp_path / "worlds"
+        with MonteCarloOracle(graph, seed=4, chunk_size=32, cache_dir=cache) as cold:
+            cold.ensure_samples(64)
+            cold_labels = cold.component_labels
+
+        monkeypatch.setattr(
+            WorldStore, "read",
+            lambda self, digest, start, stop: (_ for _ in ()).throw(FileNotFoundError()),
+        )
+        spy = SamplerSpy(monkeypatch)
+        with MonteCarloOracle(graph, seed=4, chunk_size=32, cache_dir=cache) as redo:
+            redo.ensure_samples(64)
+            assert spy.worlds == 64
+            assert np.array_equal(redo.component_labels, cold_labels)
+
+    def test_garbage_meta_treated_as_miss(self, graph, tmp_path, monkeypatch):
+        cache = tmp_path / "worlds"
+        with MonteCarloOracle(graph, seed=4, chunk_size=32, cache_dir=cache) as cold:
+            cold.ensure_samples(32)
+            digest = cold.pool_digest
+        (cache / digest / "meta.json").write_text("{not json")
+
+        spy = SamplerSpy(monkeypatch)
+        with MonteCarloOracle(graph, seed=4, chunk_size=32, cache_dir=cache) as redo:
+            redo.ensure_samples(32)
+            assert spy.worlds == 32
+
+
+class TestClusteringReuse:
+    def test_mcp_then_acp_share_pool(self, graph, monkeypatch):
+        """An mcp -> acp pipeline with a shared store resamples only growth."""
+        from repro.core.acp import acp_clustering
+        from repro.core.mcp import mcp_clustering
+
+        store = WorldStore()
+        spy = SamplerSpy(monkeypatch)
+        mcp = mcp_clustering(graph, 3, seed=0, chunk_size=64, store=store)
+        sampled_by_mcp = spy.worlds
+        assert sampled_by_mcp > 0
+        acp = acp_clustering(graph, 3, seed=0, chunk_size=64, store=store)
+        assert spy.worlds - sampled_by_mcp <= max(
+            0, acp.samples_used - sampled_by_mcp
+        )  # acp re-drew nothing mcp already had
+        assert mcp.clustering.covers_all
+
+    def test_repeated_mcp_is_warm_and_identical(self, graph, monkeypatch):
+        from repro.core.mcp import mcp_clustering
+
+        store = WorldStore()
+        first = mcp_clustering(graph, 3, seed=0, chunk_size=64, store=store)
+        spy = SamplerSpy(monkeypatch)
+        second = mcp_clustering(graph, 3, seed=0, chunk_size=64, store=store)
+        assert spy.worlds == 0
+        assert np.array_equal(
+            first.clustering.assignment, second.clustering.assignment
+        )
+        assert first.min_prob_estimate == second.min_prob_estimate
