@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test doctest bench docs docs-check lint clean
+.PHONY: test doctest bench bench-service serve docs docs-check lint clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,15 @@ bench:
 	$(PYTHON) -m pytest -q benchmarks/test_bench_backends.py benchmarks/test_bench_sampling.py
 	$(PYTHON) benchmarks/compare.py benchmarks/baselines/BENCH_sampling.json \
 	    benchmarks/out/BENCH_sampling.json --fail-over 2.0
+
+bench-service:
+	$(PYTHON) -m pytest -q benchmarks/test_bench_service.py
+	$(PYTHON) benchmarks/compare.py benchmarks/baselines/BENCH_service.json \
+	    benchmarks/out/BENCH_service.json
+
+# Run the clustering service on the default port with a local world cache.
+serve:
+	$(PYTHON) -m repro.cli serve --world-cache .world-cache
 
 # API reference: always build the dependency-free Markdown reference
 # (docs/api) — it doubles as the docstring/doctest syntax gate — and,

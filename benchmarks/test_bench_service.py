@@ -1,0 +1,120 @@
+"""Service-layer latency and throughput (``BENCH_service.json``).
+
+Runs the clustering service in-process (:class:`BackgroundServer` on a
+daemon thread, real sockets) and measures the numbers the service
+exists for, recording each into the durable artifact:
+
+* ``job/mcp/cold`` — one clustering job against an empty oracle cache
+  (submission + polling + sampling + clustering + result fetch);
+* ``job/mcp/warm`` — the identical job repeated, served from the
+  cached pool with **zero** new sampling (asserted, not just timed);
+* ``estimate/sustained`` — sustained reliability-estimate throughput
+  over keep-alive connections against the warm pool.
+
+The same cells can be produced against a *remote* server with
+``repro bench-serve`` — the CI smoke job does exactly that; this suite
+exists so the numbers land in ``benchmarks/out`` alongside the other
+suites and are diffable with ``benchmarks/compare.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from benchmarks.record import record_benchmark
+from repro.service import BackgroundServer, ClusterService
+from repro.service.loadgen import ServiceClient, run_job
+
+# k=2 on the krogan-like graph forces the threshold schedule well below
+# the first guess, so the cold job genuinely samples (the warm/cold gap
+# is the point of the suite); k near the cluster count would cover at
+# the first 50-world guess and hide the sampling cost.
+JOB_PARAMS = {"graph": "bench", "algorithm": "mcp", "k": 2, "samples": 1500, "seed": 0}
+SUSTAIN_SECONDS = 1.5
+CONCURRENCY = 4
+
+
+@pytest.fixture(scope="module")
+def server(krogan_tiny):
+    service = ClusterService(datasets=(), job_workers=2)
+    service.graphs.register_graph("bench", krogan_tiny.graph, source="krogan_tiny")
+    with BackgroundServer(service) as running:
+        yield running
+
+
+def _request_sync(server, method, path, body=None):
+    async def go():
+        client = await ServiceClient("127.0.0.1", server.port).connect()
+        try:
+            return await client.request(method, path, body)
+        finally:
+            await client.close()
+
+    return asyncio.run(go())
+
+
+def test_job_cold_then_warm(server):
+    async def go():
+        client = await ServiceClient("127.0.0.1", server.port).connect()
+        try:
+            begin = time.perf_counter()
+            cold = await run_job(client, JOB_PARAMS)
+            cold_seconds = time.perf_counter() - begin
+            begin = time.perf_counter()
+            warm = await run_job(client, JOB_PARAMS)
+            warm_seconds = time.perf_counter() - begin
+            return cold, cold_seconds, warm, warm_seconds
+        finally:
+            await client.close()
+
+    cold, cold_seconds, warm, warm_seconds = asyncio.run(go())
+    assert cold["worlds_sampled"] > 0
+    assert warm["warm"] is True and warm["worlds_sampled"] == 0
+    assert warm["assignment"] == cold["assignment"]
+    meta = {"graph": "krogan_tiny", "k": JOB_PARAMS["k"], "samples": JOB_PARAMS["samples"]}
+    record_benchmark(
+        "service", "job/mcp/cold", seconds=cold_seconds, items=1,
+        meta={**meta, "worlds_sampled": cold["worlds_sampled"]},
+    )
+    record_benchmark(
+        "service", "job/mcp/warm", seconds=warm_seconds, items=1,
+        meta={**meta, "worlds_sampled": 0},
+    )
+
+
+def test_sustained_estimates(server):
+    path = f"/graphs/bench/estimate?u=0&v=1&samples={JOB_PARAMS['samples']}&seed=0"
+    status, _ = _request_sync(server, "GET", path)  # prime the pool
+    assert status == 200
+
+    async def go():
+        latencies = []
+        stop_at = time.monotonic() + SUSTAIN_SECONDS
+
+        async def worker():
+            client = await ServiceClient("127.0.0.1", server.port).connect()
+            try:
+                while time.monotonic() < stop_at:
+                    begin = time.perf_counter()
+                    status, _ = await client.request("GET", path)
+                    assert status == 200
+                    latencies.append(time.perf_counter() - begin)
+            finally:
+                await client.close()
+
+        await asyncio.gather(*(worker() for _ in range(CONCURRENCY)))
+        return latencies
+
+    latencies = asyncio.run(go())
+    assert latencies
+    record_benchmark(
+        "service", "estimate/sustained",
+        seconds=SUSTAIN_SECONDS, items=len(latencies),
+        meta={
+            "concurrency": CONCURRENCY,
+            "latency_p50_s": sorted(latencies)[len(latencies) // 2],
+        },
+    )

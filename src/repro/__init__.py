@@ -18,6 +18,9 @@ Datasets
     ground truth
 Experiments
     ``repro.experiments`` — regenerate every table and figure of the paper
+Service
+    ``repro.service`` — async HTTP/JSON clustering service with an
+    oracle cache and a background job queue (``repro serve``)
 """
 
 from repro.exceptions import (

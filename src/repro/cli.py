@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli generate krogan --scale 0.2 -o krogan.uel
     python -m repro.cli cache info .world-cache
     python -m repro.cli cache clear .world-cache
+    python -m repro.cli serve --port 8722 --world-cache .world-cache
+    python -m repro.cli bench-serve http://127.0.0.1:8722 --graph krogan
 
 Graphs are read/written in the ``.uel`` text format (``u v probability``
 per line); clusterings are written as TSV ``node<TAB>cluster<TAB>center``.
@@ -194,6 +196,60 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the async clustering service until shutdown."""
+    from repro.service import ClusterService, serve
+
+    preloaded = []
+    for spec in args.graph or ():
+        path, sep, name = spec.partition(":")
+        if not sep:
+            name = path.rsplit("/", 1)[-1].removesuffix(".uel")
+        preloaded.append((name, path, read_uncertain_graph(path, merge=args.merge)))
+    service = ClusterService(
+        world_cache=args.world_cache,
+        cache_bytes=args.cache_bytes,
+        job_workers=args.workers,
+        sampling_workers=args.sampling_workers,
+        dataset_scale=args.dataset_scale,
+    )
+    for name, path, graph in preloaded:
+        service.graphs.register_graph(name, graph, source=path)
+        print(
+            f"registered graph {name!r}: {graph.n_nodes} nodes, {graph.n_edges} edges",
+            file=sys.stderr,
+        )
+    return serve(service, host=args.host, port=args.port)
+
+
+def _cmd_bench_serve(args) -> int:
+    """Load-generate against a running service; write BENCH_service.json."""
+    import asyncio
+
+    from repro.service.loadgen import run_load, summarize, write_artifact
+
+    results = asyncio.run(
+        run_load(
+            args.url,
+            graph=args.graph,
+            algorithm=args.algorithm,
+            k=args.k,
+            samples=args.samples,
+            seed=args.seed,
+            duration=args.duration,
+            concurrency=args.concurrency,
+            upload=args.upload,
+            u=args.u,
+            v=args.v,
+        )
+    )
+    print(summarize(results))
+    if args.output:
+        write_artifact(results, args.output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro`` argument parser (all subcommands attached).
 
@@ -282,6 +338,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="remove only pools whose digest starts with this prefix (default: all)",
     )
     cache_clear.set_defaults(func=_cmd_cache_clear)
+
+    serve = sub.add_parser(
+        "serve", help="run the async clustering service (HTTP/JSON API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8722)
+    serve.add_argument(
+        "--world-cache", default=None, metavar="DIR",
+        help="persist the service's world pools to this directory "
+        "(default: in-memory only)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent clustering jobs (executor threads)",
+    )
+    serve.add_argument(
+        "--sampling-workers", type=_parse_workers, default=1, metavar="N|auto",
+        help="sampling worker processes per oracle (results are identical "
+        "under any value)",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=256 << 20, metavar="BYTES",
+        help="LRU byte budget of the oracle cache (packed masks + labels)",
+    )
+    serve.add_argument(
+        "--graph", action="append", default=None, metavar="PATH[:NAME]",
+        help="pre-register a .uel graph at startup (repeatable); NAME "
+        "defaults to the file stem",
+    )
+    serve.add_argument(
+        "--dataset-scale", type=float, default=1.0,
+        help="scale used when a built-in dataset is first loaded",
+    )
+    serve.add_argument("--merge", default="error", help="duplicate-edge policy for --graph files")
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_serve = sub.add_parser(
+        "bench-serve", help="load-generate against a running clustering service"
+    )
+    bench_serve.add_argument("url", help="service base URL, e.g. http://127.0.0.1:8722")
+    bench_serve.add_argument("--graph", required=True, help="registered graph name to hit")
+    bench_serve.add_argument(
+        "--upload", default=None, metavar="PATH",
+        help="upload this .uel file under --graph before measuring",
+    )
+    bench_serve.add_argument("--algorithm", choices=("mcp", "acp"), default="mcp")
+    bench_serve.add_argument("--k", type=int, default=4)
+    bench_serve.add_argument("--samples", type=int, default=500)
+    bench_serve.add_argument("--seed", type=int, default=0)
+    bench_serve.add_argument("--duration", type=float, default=3.0,
+                             help="sustained-load phase length in seconds")
+    bench_serve.add_argument("--concurrency", type=int, default=4,
+                             help="concurrent keep-alive connections")
+    bench_serve.add_argument("--u", default="0", help="estimate endpoint node u")
+    bench_serve.add_argument("--v", default="1", help="estimate endpoint node v")
+    bench_serve.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write a schema-1 BENCH_service.json artifact here",
+    )
+    bench_serve.set_defaults(func=_cmd_bench_serve)
     return parser
 
 

@@ -84,6 +84,7 @@ def acp_clustering(
     workers=1,
     store=None,
     cache_dir=None,
+    cancel_check=None,
 ) -> ACPResult:
     """Cluster an uncertain graph maximizing average connection probability.
 
@@ -92,8 +93,9 @@ def acp_clustering(
     parallelism and the ``store`` / ``cache_dir`` world-store
     attachment — an MCP run followed by an ACP run with the same
     ``(graph, seed, backend, chunk_size)`` and a shared store reuses
-    one sampled pool); see the module docstring for the ``mode``
-    semantics.
+    one sampled pool, and the ``cancel_check`` cooperative-cancellation
+    hook called before every threshold guess); see the module docstring
+    for the ``mode`` semantics.
 
     Examples
     --------
@@ -134,6 +136,8 @@ def acp_clustering(
         return q**3 if theoretical else q
 
     def run_guess(q: float):
+        if cancel_check is not None:
+            cancel_check()
         oracle.ensure_samples(samples_for(q))
         result = min_partial(
             oracle,

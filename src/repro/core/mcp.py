@@ -94,6 +94,7 @@ def mcp_clustering(
     workers=1,
     store=None,
     cache_dir=None,
+    cancel_check=None,
 ) -> MCPResult:
     """Cluster an uncertain graph maximizing minimum connection probability.
 
@@ -146,6 +147,12 @@ def mcp_clustering(
         Two calls with the same ``(graph, seed, backend, chunk_size)``
         share one pool instead of resampling.  Ignored when ``oracle``
         is given.
+    cancel_check:
+        Optional zero-argument callable invoked before every threshold
+        guess (binary-search probes included).  Raise from it — e.g.
+        :class:`~repro.exceptions.JobCancelledError` — to abort the run
+        cooperatively; the exception propagates unchanged.  This is how
+        the clustering service cancels jobs running off the event loop.
 
     Returns
     -------
@@ -175,6 +182,8 @@ def mcp_clustering(
     oracle_is_sampled = not _is_exact(oracle)
 
     def run_guess(q: float):
+        if cancel_check is not None:
+            cancel_check()
         oracle.ensure_samples(samples_for(q))
         result = min_partial(
             oracle,

@@ -52,3 +52,26 @@ class WorldStoreError(OracleError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment configuration or run is invalid."""
+
+
+class ServiceError(ReproError):
+    """A clustering-service request cannot be fulfilled.
+
+    Carries the HTTP status the service layer should report, so
+    handlers can raise one exception type for every client-visible
+    failure (unknown graph, malformed body, job not found, ...).
+    """
+
+    def __init__(self, message: str, *, status: int = 400):
+        super().__init__(message)
+        self.status = int(status)
+
+
+class JobCancelledError(ReproError, RuntimeError):
+    """A background clustering job was cancelled while in flight.
+
+    Raised inside the worker (via the ``cancel_check`` hook of
+    :func:`~repro.core.mcp.mcp_clustering` /
+    :func:`~repro.core.acp.acp_clustering`) to unwind a running job;
+    the job queue records the job as ``cancelled``, never ``failed``.
+    """

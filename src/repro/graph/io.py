@@ -19,6 +19,29 @@ from repro.exceptions import GraphValidationError
 from repro.graph.uncertain_graph import UncertainGraph
 
 
+def probability_error(p: float) -> str | None:
+    """Why ``p`` is not a usable edge probability (``None`` when it is).
+
+    The single source of the load-time probability contract — values
+    must lie in ``[0, 1]`` (NaN fails both comparisons and is caught)
+    and cannot be exactly 0 (such an edge never exists and the graph
+    structure rejects it).  Shared by the ``.uel`` text parser and the
+    service's JSON upload path so the two surfaces cannot drift.
+
+    Examples
+    --------
+    >>> probability_error(0.5) is None
+    True
+    >>> probability_error(float("nan"))
+    'probability nan outside [0, 1]'
+    """
+    if not 0.0 <= p <= 1.0:
+        return f"probability {p!r} outside [0, 1]"
+    if p == 0.0:
+        return "probability-0 edges cannot exist; drop the edge or use a positive probability"
+    return None
+
+
 def _parse_lines(lines: Iterable[str], *, numeric_labels: bool):
     for lineno, raw in enumerate(lines, start=1):
         line = raw.strip()
@@ -36,6 +59,12 @@ def _parse_lines(lines: Iterable[str], *, numeric_labels: bool):
             raise GraphValidationError(
                 f"line {lineno}: probability {p_text!r} is not a number"
             ) from None
+        # Validate here, with the line number, instead of letting a bad
+        # value (NaN included) reach the sampler as a malformed
+        # Bernoulli parameter.
+        problem = probability_error(p)
+        if problem is not None:
+            raise GraphValidationError(f"line {lineno}: {problem}")
         if numeric_labels:
             try:
                 yield int(u), int(v), p
@@ -65,11 +94,41 @@ def read_uncertain_graph(
     merge:
         Duplicate-edge policy forwarded to
         :meth:`UncertainGraph.from_edges`.
+
+    Raises
+    ------
+    GraphValidationError
+        For malformed lines and for probabilities outside ``[0, 1]``
+        (NaN included) or exactly 0, each reported with its line number
+        — bad values never silently reach the world sampler.
     """
     with open(path, "r", encoding="utf-8") as handle:
         return UncertainGraph.from_edges(
             _parse_lines(handle, numeric_labels=numeric_labels), merge=merge
         )
+
+
+def parse_uncertain_graph_text(
+    text: str,
+    *,
+    numeric_labels: bool = False,
+    merge: str = "error",
+) -> UncertainGraph:
+    """Parse ``.uel``-format text into an :class:`UncertainGraph`.
+
+    Same grammar and validation as :func:`read_uncertain_graph` (line
+    numbers in error messages count from the first line of ``text``);
+    used by the clustering service for graph uploads, where the edge
+    list arrives in a request body rather than a file.
+
+    Examples
+    --------
+    >>> parse_uncertain_graph_text("a b 0.5\\nb c 0.25\\n").n_edges
+    2
+    """
+    return UncertainGraph.from_edges(
+        _parse_lines(text.splitlines(), numeric_labels=numeric_labels), merge=merge
+    )
 
 
 def write_uncertain_graph(graph: UncertainGraph, path: str | os.PathLike, *, header: str | None = None) -> None:

@@ -31,6 +31,14 @@ Queries are answered against the whole pool:
 ``pairwise_matrix(nodes)``
     one sparse product per pool, used by the theoretical ACP variant
     (``alpha = n``) and by the AVPR quality metrics.
+
+Thread-safety: an oracle instance is single-threaded (its pool lists
+mutate without locks).  To share sampled worlds across threads —
+the pattern :mod:`repro.service` uses for its job executor — give each
+thread its own oracle attached to one shared
+:class:`~repro.sampling.store.WorldStore`, whose operations are
+thread-safe; the worlds are then drawn once and served to every
+oracle bit-identically.
 """
 
 from __future__ import annotations

@@ -36,8 +36,14 @@ pool trim each other's overlap instead of misaligning file rows (safe
 because any two writers produce identical rows — worlds are pure
 functions of their position).  A pool cleared externally while a
 writer is running simply stops being extended (the write is dropped,
-never misplaced).  In-memory stores are additionally guarded by a
-per-store thread lock.
+never misplaced).  Within one process, every count/read/append (and
+the size snapshots behind :meth:`WorldStore.info`) runs under a
+per-store thread lock, so a single :class:`WorldStore` can back many
+oracles across executor threads — the clustering service's hot path
+(:mod:`repro.service`) relies on exactly this.  Individual
+:class:`~repro.sampling.oracle.MonteCarloOracle` instances are *not*
+thread-safe; share worlds by giving each thread its own oracle
+attached to the shared store.
 """
 
 from __future__ import annotations
@@ -240,6 +246,12 @@ class _MemoryPool:
                 break
         if not packed_slices:
             return _empty_packed(self.meta), _empty_labels(self.meta)
+        if len(packed_slices) == 1:
+            # The common case — oracle reads are chunk-aligned, so the
+            # range falls inside one stored part.  Return views instead
+            # of copies: warm oracles treat pool rows as immutable, and
+            # copying would make every warm request pay O(pool bytes).
+            return packed_slices[0], label_slices[0]
         return (
             np.concatenate(packed_slices, axis=0),
             np.concatenate(label_slices, axis=0),
@@ -504,24 +516,35 @@ class WorldStore:
         by another process is observed before the next read or append.
         """
         pool = self._pool(digest)
-        if isinstance(pool, _DiskPool):
-            with self._lock:
+        with self._lock:
+            if isinstance(pool, _DiskPool):
                 pool.refresh()
-        return pool.count
+            return pool.count
 
     def read(self, digest: str, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
         """Packed masks and labels of stored worlds ``[start, stop)``.
 
         Returns ``(packed, labels)`` of shapes ``(rows, words)`` uint64
-        and ``(rows, n)`` int32 — plain in-memory arrays (disk pools are
-        copied out of their memmap so no file handle outlives the call).
+        and ``(rows, n)`` int32.  Disk pools are copied out of their
+        memmap so no file handle outlives the call; in-memory pools may
+        return *views* of the stored parts (parts are append-only and
+        treated as immutable), so callers must not mutate the result.
+
+        The range check and the copy-out run under the store lock, so a
+        concurrent :meth:`append` or disk :meth:`refresh` from another
+        thread (the service's job executor shares one store across all
+        worker threads) can never shift ``pool.count`` between the
+        validation and the slice.  Readers in *other processes* are
+        lock-free as before: data files are append-only and the meta
+        count lands atomically after the rows it describes.
         """
-        pool = self._pool(digest)
-        if not 0 <= start <= stop <= pool.count:
-            raise WorldStoreError(
-                f"read range [{start}, {stop}) outside stored pool of {pool.count} worlds"
-            )
-        return pool.read(start, stop)
+        with self._lock:
+            pool = self._pool(digest)
+            if not 0 <= start <= stop <= pool.count:
+                raise WorldStoreError(
+                    f"read range [{start}, {stop}) outside stored pool of {pool.count} worlds"
+                )
+            return pool.read(start, stop)
 
     def append(self, digest: str, start: int, packed: np.ndarray, labels: np.ndarray) -> int:
         """Append worlds ``[start, start + rows)``; returns the new count.
@@ -597,16 +620,26 @@ class WorldStore:
                 continue
 
     def info(self) -> list[PoolInfo]:
-        """One :class:`PoolInfo` per stored pool (disk pools included)."""
+        """One :class:`PoolInfo` per stored pool (disk pools included).
+
+        Thread-safe: sizes are snapshotted under the store lock, so a
+        pool growing in another thread is reported at a consistent
+        count rather than mid-append.
+        """
         self._scan_disk()
         rows = []
-        for digest in sorted(self._pools):
-            pool = self._pools[digest]
-            mask_bytes, label_bytes = pool.nbytes()
+        with self._lock:
+            pools = sorted(self._pools.items())
+        for digest, pool in pools:
+            with self._lock:
+                if self._pools.get(digest) is not pool:
+                    continue  # cleared between the snapshot and this row
+                mask_bytes, label_bytes = pool.nbytes()
+                n_worlds = pool.count
             rows.append(
                 PoolInfo(
                     digest=digest,
-                    n_worlds=pool.count,
+                    n_worlds=n_worlds,
                     n_nodes=int(pool.meta["n_nodes"]),
                     n_edges=int(pool.meta["n_edges"]),
                     words=int(pool.meta["words"]),

@@ -1,0 +1,42 @@
+"""Async clustering service: an HTTP/JSON API over the whole pipeline.
+
+The library-and-CLI reproduction grown into a long-lived process
+(``repro serve``): a graph registry, synchronous endpoints for cheap
+queries, a background job queue for mcp/acp/mcl/gmm clustering runs,
+and an in-process oracle cache (LRU byte budget over a shared
+:class:`~repro.sampling.store.WorldStore`) that amortizes Monte Carlo
+world pools across requests — a warm repeated request samples zero new
+worlds and returns bit-identical labels.
+
+Modules
+-------
+:mod:`repro.service.http`
+    Dependency-free asyncio HTTP/1.1 server and router.
+:mod:`repro.service.cache`
+    :class:`OracleCache` — the pool cache keyed by ``pool_fingerprint``.
+:mod:`repro.service.jobs`
+    :class:`JobQueue` — coalescing background jobs with cancellation.
+:mod:`repro.service.app`
+    :class:`ClusterService` — registry, handlers, and the entry points.
+:mod:`repro.service.loadgen`
+    The ``repro bench-serve`` load generator and asyncio client.
+"""
+
+from repro.service.app import BackgroundServer, ClusterService, GraphRegistry, serve
+from repro.service.cache import OracleCache
+from repro.service.http import HttpServer, Request, Router
+from repro.service.jobs import Job, JobQueue, canonical_key
+
+__all__ = [
+    "BackgroundServer",
+    "ClusterService",
+    "GraphRegistry",
+    "HttpServer",
+    "Job",
+    "JobQueue",
+    "OracleCache",
+    "Request",
+    "Router",
+    "canonical_key",
+    "serve",
+]

@@ -1,0 +1,730 @@
+"""The async clustering service: registry, endpoints, jobs, cache.
+
+:class:`ClusterService` wires the whole pipeline behind an HTTP/JSON
+API (served by :mod:`repro.service.http`):
+
+====== ============================== ======================================
+method endpoint                       purpose
+====== ============================== ======================================
+GET    ``/healthz``                   liveness + queue/cache counters
+GET    ``/version``                   package version
+GET    ``/graphs``                    list registered graphs
+PUT    ``/graphs/{name}``             upload a graph (``.uel`` text or JSON)
+GET    ``/graphs/{name}``             graph statistics
+DELETE ``/graphs/{name}``             unregister a graph
+GET    ``/graphs/{name}/estimate``    synchronous reliability estimate
+POST   ``/jobs``                      submit a clustering job (202)
+GET    ``/jobs``                      list jobs
+GET    ``/jobs/{id}``                 job status
+GET    ``/jobs/{id}/result``          job result (409 until ``done``)
+DELETE ``/jobs/{id}``                 cancel a job
+GET    ``/cache``                     oracle-cache statistics
+POST   ``/shutdown``                  graceful shutdown
+====== ============================== ======================================
+
+Cheap queries (estimates, stats) run synchronously — but off the event
+loop, on the default executor.  Clustering jobs go through the
+:class:`~repro.service.jobs.JobQueue` (coalescing, cancellation) and
+their oracles through the :class:`~repro.service.cache.OracleCache`,
+so a warm repeated request samples zero new worlds and returns labels
+bit-identical to the equivalent direct library call — see
+``docs/ARCHITECTURE.md`` for the invariants and
+``tests/test_service.py`` for the pins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import itertools
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import __version__
+from repro.baselines.gmm import gmm_clustering
+from repro.baselines.mcl import mcl_clustering
+from repro.core.acp import acp_clustering
+from repro.core.mcp import mcp_clustering
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.exceptions import JobCancelledError, ReproError, ServiceError
+from repro.graph.io import parse_uncertain_graph_text, probability_error
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.sampling.backends import BACKEND_NAMES
+from repro.sampling.sizes import PracticalSchedule
+from repro.sampling.store import WorldStore
+from repro.service.cache import OracleCache
+from repro.service.http import HttpServer, Request, Router
+from repro.service.jobs import JobQueue
+
+_JOB_ALGORITHMS = ("mcp", "acp", "mcl", "gmm")
+
+#: Upper bound on request-supplied sample budgets.  This is the
+#: library's default ``max_samples`` oracle guard: letting a request
+#: raise its own cap would turn one HTTP call into an arbitrarily large
+#: uninterruptible sampling run on an executor thread.
+MAX_REQUEST_SAMPLES = 1_000_000
+
+
+@dataclass
+class _GraphEntry:
+    """One registry slot: a loaded graph or a lazy builtin loader."""
+
+    name: str
+    source: str
+    revision: int
+    graph: UncertainGraph | None = None
+    loader: object = None
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class GraphRegistry:
+    """Named uncertain graphs served by the service.
+
+    Built-in datasets are registered as lazy loaders (generated on
+    first use, so startup stays instant); uploads are held directly.
+    All operations are thread-safe — jobs resolve graphs from executor
+    threads.
+
+    Every (re-)registration gets a fresh *revision* number.  Job
+    coalescing keys include it, so a job submitted against a graph that
+    was later re-uploaded under the same name never coalesces with (or
+    serves results for) the replaced contents.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: dict[str, _GraphEntry] = {}
+        self._revisions = itertools.count(1)
+
+    def register_graph(self, name: str, graph: UncertainGraph, *, source: str = "upload") -> None:
+        """Insert or replace the graph stored under ``name``."""
+        with self._lock:
+            self._entries[name] = _GraphEntry(
+                name=name, source=source, revision=next(self._revisions), graph=graph
+            )
+
+    def register_loader(self, name: str, loader, *, source: str = "builtin") -> None:
+        """Register a zero-argument callable that builds the graph lazily."""
+        with self._lock:
+            self._entries[name] = _GraphEntry(
+                name=name, source=source, revision=next(self._revisions), loader=loader
+            )
+
+    def get(self, name: str) -> UncertainGraph:
+        """The graph under ``name`` (loading it first if lazy).
+
+        Raises a 404 :class:`ServiceError` for unknown names; a loader
+        failure surfaces as a 500 with the underlying message.
+        """
+        return self.resolve(name)[0]
+
+    def resolve(self, name: str) -> tuple[UncertainGraph, int]:
+        """``(graph, revision)`` under ``name``, loading lazily (404 miss)."""
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise ServiceError(f"no such graph: {name}", status=404)
+        if entry.graph is None:
+            with entry.lock:
+                if entry.graph is None:
+                    try:
+                        entry.graph = entry.loader()
+                    except Exception as error:
+                        raise ServiceError(
+                            f"loading graph {name!r} failed: {error}", status=500
+                        ) from error
+        return entry.graph, entry.revision
+
+    def remove(self, name: str) -> None:
+        """Unregister ``name`` (404 :class:`ServiceError` when unknown)."""
+        with self._lock:
+            if name not in self._entries:
+                raise ServiceError(f"no such graph: {name}", status=404)
+            del self._entries[name]
+
+    def describe(self) -> list[dict]:
+        """JSON-safe summaries, loaded graphs with node/edge counts."""
+        with self._lock:
+            entries = list(self._entries.values())
+        rows = []
+        for entry in sorted(entries, key=lambda e: e.name):
+            row = {"name": entry.name, "source": entry.source, "loaded": entry.graph is not None}
+            if entry.graph is not None:
+                row["nodes"] = entry.graph.n_nodes
+                row["edges"] = entry.graph.n_edges
+            rows.append(row)
+        return rows
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def _validated_edge_triples(edges):
+    """Yield upload edge triples, validating probabilities like io does.
+
+    ``json.loads`` happily decodes the non-standard ``NaN``/``Infinity``
+    literals, and NaN slips through ``UncertainGraph.from_edges``'s
+    range comparisons — so JSON uploads run the same
+    :func:`~repro.graph.io.probability_error` contract (with the
+    offending entry's position) as ``.uel`` text.
+    """
+    for position, edge in enumerate(edges, start=1):
+        if not isinstance(edge, (list, tuple)) or len(edge) != 3:
+            raise ServiceError(f"edge {position}: expected a [u, v, p] triple, got {edge!r}")
+        u, v, p = edge
+        try:
+            p = float(p)
+        except (TypeError, ValueError):
+            raise ServiceError(f"edge {position}: probability {p!r} is not a number") from None
+        problem = probability_error(p)
+        if problem is not None:
+            raise ServiceError(f"edge {position}: {problem}")
+        yield u, v, p
+
+
+def _positive_int(value, name: str, *, minimum: int = 1, maximum: int | None = None) -> int:
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ServiceError(f"{name} must be an integer, got {value!r}") from None
+    if value < minimum:
+        raise ServiceError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ServiceError(f"{name} must be <= {maximum}, got {value}")
+    return value
+
+
+def normalize_job_params(body: dict) -> dict:
+    """Validate a job-submission body into canonical parameters.
+
+    Fills every default explicitly and drops fields the chosen
+    algorithm ignores, so two requests that mean the same computation
+    produce the same coalescing key (e.g. ``{"k": 2}`` and ``{"k": 2,
+    "seed": 0}`` coalesce; an ``mcl`` job ignores ``k`` entirely).
+
+    Examples
+    --------
+    >>> a = normalize_job_params({"graph": "toy", "k": 2})
+    >>> b = normalize_job_params({"graph": "toy", "k": 2, "seed": 0})
+    >>> a == b
+    True
+    >>> normalize_job_params({"graph": "toy", "algorithm": "mcl"})["algorithm"]
+    'mcl'
+    """
+    if not isinstance(body, dict):
+        raise ServiceError("job body must be a JSON object")
+    known = {"graph", "algorithm", "k", "seed", "depth", "samples",
+             "backend", "chunk_size", "inflation"}
+    unknown = set(body) - known
+    if unknown:
+        raise ServiceError(f"unknown job fields: {sorted(unknown)}")
+    graph = body.get("graph")
+    if not isinstance(graph, str) or not graph:
+        raise ServiceError("job field 'graph' (string) is required")
+    algorithm = body.get("algorithm", "mcp")
+    if algorithm not in _JOB_ALGORITHMS:
+        raise ServiceError(
+            f"algorithm must be one of {_JOB_ALGORITHMS}, got {algorithm!r}"
+        )
+    params = {"graph": graph, "algorithm": algorithm}
+    if algorithm == "mcl":
+        try:
+            params["inflation"] = float(body.get("inflation", 2.0))
+        except (TypeError, ValueError):
+            raise ServiceError("inflation must be a number") from None
+        return params
+    params["k"] = _positive_int(body.get("k", 10), "k")
+    params["seed"] = int(_positive_int(body.get("seed", 0), "seed", minimum=0))
+    if algorithm == "gmm":
+        return params
+    depth = body.get("depth")
+    params["depth"] = None if depth is None else _positive_int(depth, "depth")
+    # The progressive schedule starts at 50 worlds (PracticalSchedule's
+    # min_samples), so a smaller budget would only fail inside the
+    # worker — reject it here as the request error it is.
+    params["samples"] = _positive_int(
+        body.get("samples", 1000), "samples", minimum=50, maximum=MAX_REQUEST_SAMPLES
+    )
+    backend = body.get("backend", "auto")
+    if backend not in BACKEND_NAMES:
+        raise ServiceError(f"backend must be one of {BACKEND_NAMES}, got {backend!r}")
+    params["backend"] = backend
+    params["chunk_size"] = _positive_int(body.get("chunk_size", 512), "chunk_size")
+    return params
+
+
+class ClusterService:
+    """Application state and request handlers of the clustering service.
+
+    Parameters
+    ----------
+    world_cache:
+        Optional directory for a disk-backed
+        :class:`~repro.sampling.store.WorldStore`; ``None`` keeps the
+        pool cache purely in memory.
+    cache_bytes:
+        LRU byte budget of the oracle cache.
+    job_workers:
+        Concurrent clustering jobs (executor threads).
+    sampling_workers:
+        ``workers=`` passed to each oracle (results are bit-identical
+        under any value, so it is a deployment knob, not a request
+        parameter).
+    datasets:
+        Built-in dataset names to pre-register as lazy loaders.
+    dataset_scale:
+        ``scale=`` used when a built-in dataset is first loaded.
+    """
+
+    def __init__(
+        self,
+        *,
+        world_cache=None,
+        cache_bytes: int = 256 << 20,
+        job_workers: int = 2,
+        sampling_workers=1,
+        datasets=DATASET_NAMES,
+        dataset_scale: float = 1.0,
+    ):
+        self.cache = OracleCache(WorldStore(world_cache), max_bytes=cache_bytes)
+        self.graphs = GraphRegistry()
+        self.jobs = JobQueue(self._run_job, workers=job_workers)
+        self._sampling_workers = sampling_workers
+        self._started = time.monotonic()
+        self.shutdown_event = asyncio.Event()
+        for name in datasets:
+            self.graphs.register_loader(
+                name,
+                functools.partial(self._load_builtin, name, dataset_scale),
+                source="builtin",
+            )
+        self.router = self._build_router()
+
+    @staticmethod
+    def _load_builtin(name: str, scale: float) -> UncertainGraph:
+        graph, _complexes = load_dataset(name, seed=0, scale=scale)
+        return graph
+
+    def close(self) -> None:
+        """Stop the job executor (cancelling queued jobs)."""
+        self.jobs.shutdown()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _build_router(self) -> Router:
+        router = Router()
+        router.add("GET", "/healthz", self._handle_health)
+        router.add("GET", "/version", self._handle_version)
+        router.add("GET", "/graphs", self._handle_graphs_list)
+        router.add("PUT", "/graphs/{name}", self._handle_graph_upload)
+        router.add("POST", "/graphs/{name}", self._handle_graph_upload)
+        router.add("GET", "/graphs/{name}", self._handle_graph_stats)
+        router.add("DELETE", "/graphs/{name}", self._handle_graph_delete)
+        router.add("GET", "/graphs/{name}/estimate", self._handle_estimate)
+        router.add("POST", "/jobs", self._handle_job_submit)
+        router.add("GET", "/jobs", self._handle_jobs_list)
+        router.add("GET", "/jobs/{id}", self._handle_job_status)
+        router.add("GET", "/jobs/{id}/result", self._handle_job_result)
+        router.add("DELETE", "/jobs/{id}", self._handle_job_cancel)
+        router.add("GET", "/cache", self._handle_cache_stats)
+        router.add("POST", "/shutdown", self._handle_shutdown)
+        return router
+
+    # ------------------------------------------------------------------
+    # Meta endpoints
+    # ------------------------------------------------------------------
+
+    async def _handle_health(self, request: Request):
+        states = {}
+        for job in self.jobs.list():
+            states[job.status] = states.get(job.status, 0) + 1
+        return 200, {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": time.monotonic() - self._started,
+            "graphs": len(self.graphs),
+            "jobs": states,
+        }
+
+    async def _handle_version(self, request: Request):
+        return 200, {"version": __version__}
+
+    async def _handle_cache_stats(self, request: Request):
+        return 200, self.cache.stats()
+
+    async def _handle_shutdown(self, request: Request):
+        self.shutdown_event.set()
+        return 202, {"status": "shutting down"}
+
+    # ------------------------------------------------------------------
+    # Graph endpoints
+    # ------------------------------------------------------------------
+
+    async def _handle_graphs_list(self, request: Request):
+        return 200, {"graphs": self.graphs.describe()}
+
+    async def _handle_graph_upload(self, request: Request):
+        name = request.params["name"]
+        # Parsing is CPU-bound (bodies may be tens of MB), so it runs on
+        # the executor like every other heavy handler.
+        loop = asyncio.get_running_loop()
+        graph = await loop.run_in_executor(None, self._parse_upload_sync, request)
+        self.graphs.register_graph(name, graph)
+        return 200, {"name": name, "nodes": graph.n_nodes, "edges": graph.n_edges}
+
+    @staticmethod
+    def _parse_upload_sync(request: Request) -> UncertainGraph:
+        content_type = request.headers.get("content-type", "").split(";")[0].strip()
+        try:
+            if content_type == "application/json":
+                body = request.json()
+                if not isinstance(body, dict):
+                    raise ServiceError("JSON upload body must be an object with an 'edges' list")
+                edges = body.get("edges")
+                if not isinstance(edges, list):
+                    raise ServiceError("JSON uploads need an 'edges' list of [u, v, p] triples")
+                return UncertainGraph.from_edges(
+                    _validated_edge_triples(edges), merge=body.get("merge", "error")
+                )
+            return parse_uncertain_graph_text(request.text())
+        except ServiceError:
+            raise
+        except (ReproError, TypeError, ValueError) as error:
+            raise ServiceError(f"invalid graph upload: {error}") from error
+
+    async def _handle_graph_stats(self, request: Request):
+        name = request.params["name"]
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._graph_stats_sync, name)
+
+    def _graph_stats_sync(self, name: str):
+        graph = self.graphs.get(name)
+        lcc = graph.largest_component()
+        payload = {
+            "name": name,
+            "nodes": graph.n_nodes,
+            "edges": graph.n_edges,
+            "expected_edges": graph.expected_edge_count(),
+            "largest_component": {"nodes": lcc.n_nodes, "edges": lcc.n_edges},
+        }
+        if graph.n_edges:
+            degrees = graph.degrees()
+            prob = graph.edge_prob
+            payload["degree"] = {"mean": float(degrees.mean()), "max": int(degrees.max())}
+            payload["edge_probability"] = {
+                "min": float(prob.min()),
+                "median": float(np.median(prob)),
+                "max": float(prob.max()),
+            }
+        return 200, payload
+
+    async def _handle_graph_delete(self, request: Request):
+        name = request.params["name"]
+        self.graphs.remove(name)
+        return 200, {"name": name, "removed": True}
+
+    # ------------------------------------------------------------------
+    # Synchronous estimates
+    # ------------------------------------------------------------------
+
+    async def _handle_estimate(self, request: Request):
+        name = request.params["name"]
+        query = request.query
+        if "u" not in query or "v" not in query:
+            raise ServiceError("estimate needs 'u' and 'v' query parameters")
+        samples = _positive_int(
+            query.get("samples", 2000), "samples", maximum=MAX_REQUEST_SAMPLES
+        )
+        seed = _positive_int(query.get("seed", 0), "seed", minimum=0)
+        depth = query.get("depth")
+        depth = None if depth is None else _positive_int(depth, "depth")
+        backend = query.get("backend", "auto")
+        if backend not in BACKEND_NAMES:
+            raise ServiceError(f"backend must be one of {BACKEND_NAMES}, got {backend!r}")
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None,
+            functools.partial(
+                self._estimate_sync, name, query["u"], query["v"],
+                samples=samples, seed=seed, depth=depth, backend=backend,
+            ),
+        )
+
+    def _estimate_sync(self, name, u_label, v_label, *, samples, seed, depth, backend):
+        graph = self.graphs.get(name)
+        u = self._node_index(graph, u_label)
+        v = self._node_index(graph, v_label)
+        with self.cache.lease(
+            graph, seed=seed, backend=backend,
+            max_samples=MAX_REQUEST_SAMPLES, workers=self._sampling_workers,
+        ) as oracle:
+            oracle.ensure_samples(samples)
+            estimate = oracle.connection(u, v, depth=depth)
+            stats = oracle.cache_stats
+        return 200, {
+            "graph": name,
+            "u": u_label,
+            "v": v_label,
+            "estimate": estimate,
+            "samples": samples,
+            "seed": seed,
+            "depth": depth,
+            "worlds_cached": stats["worlds_cached"],
+            "worlds_sampled": stats["worlds_sampled"],
+        }
+
+    @staticmethod
+    def _node_index(graph: UncertainGraph, label) -> int:
+        """Map a request-supplied node token to its dense index (404 miss)."""
+        candidates = [label]
+        try:
+            candidates.append(int(label))
+        except (TypeError, ValueError):
+            pass
+        for candidate in candidates:
+            try:
+                return graph.index_of(candidate)
+            except (KeyError, ValueError):
+                continue
+        raise ServiceError(f"no such node: {label!r}", status=404)
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    async def _handle_job_submit(self, request: Request):
+        params = normalize_job_params(request.json())
+        # Resolve the graph now so unknown names fail the submission
+        # with a 404 instead of a failed job discovered by polling (in
+        # the executor: first touch of a lazy builtin generates it).
+        # The resolved object is captured on the job and its revision
+        # folded into the coalescing key: a later re-upload under the
+        # same name neither coalesces with nor redirects this job.
+        loop = asyncio.get_running_loop()
+        graph, revision = await loop.run_in_executor(
+            None, self.graphs.resolve, params["graph"]
+        )
+        job, coalesced = self.jobs.submit(
+            params, key_suffix=f"rev{revision}", context=graph
+        )
+        return 202, {"job": job.id, "status": job.status, "coalesced": coalesced}
+
+    async def _handle_jobs_list(self, request: Request):
+        return 200, {"jobs": [job.describe() for job in self.jobs.list()]}
+
+    async def _handle_job_status(self, request: Request):
+        return 200, self.jobs.get(request.params["id"]).describe()
+
+    async def _handle_job_result(self, request: Request):
+        job = self.jobs.get(request.params["id"])
+        if job.status != "done":
+            raise ServiceError(
+                f"job {job.id} is {job.status}, not done", status=409
+            )
+        return 200, job.result
+
+    async def _handle_job_cancel(self, request: Request):
+        job = self.jobs.cancel(request.params["id"])
+        return 202, job.describe()
+
+    def _run_job(self, job) -> dict:
+        """Execute one clustering job on a worker thread."""
+        params = job.params
+        # The graph captured at submission; falling back to the registry
+        # only covers jobs submitted without a context (direct queue use).
+        graph = job.context if job.context is not None else self.graphs.get(params["graph"])
+        algorithm = params["algorithm"]
+        started = time.perf_counter()
+
+        def cancel_check() -> None:
+            if job.cancel_event.is_set():
+                raise JobCancelledError(f"job {job.id} cancelled")
+
+        cancel_check()
+        payload = {"job": job.id, "algorithm": algorithm, "graph": params["graph"]}
+        if algorithm in ("mcp", "acp"):
+            schedule = PracticalSchedule(max_samples=params["samples"])
+            with self.cache.lease(
+                graph,
+                seed=params["seed"],
+                chunk_size=params["chunk_size"],
+                max_samples=MAX_REQUEST_SAMPLES,
+                backend=params["backend"],
+                workers=self._sampling_workers,
+            ) as oracle:
+                run = mcp_clustering if algorithm == "mcp" else acp_clustering
+                result = run(
+                    None,
+                    params["k"],
+                    oracle=oracle,
+                    seed=params["seed"],
+                    depth=params["depth"],
+                    sample_schedule=schedule,
+                    cancel_check=cancel_check,
+                )
+                stats = oracle.cache_stats
+            clustering = result.clustering
+            payload.update(
+                k=params["k"],
+                seed=params["seed"],
+                q_final=result.q_final,
+                samples_used=result.samples_used,
+                n_guesses=result.n_guesses,
+                worlds_cached=stats["worlds_cached"],
+                worlds_sampled=stats["worlds_sampled"],
+                warm=stats["worlds_sampled"] == 0 and stats["worlds_cached"] > 0,
+                pool_digest=oracle.pool_digest,
+            )
+            if algorithm == "mcp":
+                payload["min_prob"] = result.min_prob_estimate
+                payload["covers_all"] = result.covers_all
+            else:
+                payload["avg_prob"] = result.avg_prob_estimate
+                payload["phi_best"] = result.phi_best
+        elif algorithm == "mcl":
+            result = mcl_clustering(graph, inflation=params["inflation"])
+            clustering = result.clustering
+            payload.update(inflation=params["inflation"], n_clusters=result.n_clusters)
+        else:  # gmm
+            clustering = gmm_clustering(graph, params["k"], seed=params["seed"])
+            payload.update(k=params["k"], seed=params["seed"])
+        cancel_check()
+        payload["assignment"] = np.asarray(clustering.assignment).astype(int).tolist()
+        payload["centers"] = np.asarray(clustering.centers).astype(int).tolist()
+        payload["elapsed_s"] = time.perf_counter() - started
+        return payload
+
+
+class BackgroundServer:
+    """Run a :class:`ClusterService` HTTP server on a daemon thread.
+
+    The in-process harness used by the test suite and the service
+    benchmark: it owns a private event loop, binds to an ephemeral port
+    by default, and tears everything down on exit.
+
+    Use as a context manager::
+
+        with BackgroundServer(service) as server:
+            requests to server.base_url ...
+    """
+
+    def __init__(self, service: ClusterService, *, host: str = "127.0.0.1", port: int = 0):
+        self._service = service
+        self._host = host
+        self._port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: HttpServer | None = None
+
+    @property
+    def base_url(self) -> str:
+        """``http://host:port`` of the running server."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return f"http://{self._host}:{self._server.port}"
+
+    @property
+    def port(self) -> int:
+        """The bound port of the running server."""
+        if self._server is None:
+            raise RuntimeError("server is not running")
+        return self._server.port
+
+    def start(self) -> "BackgroundServer":
+        """Start the loop thread and wait until the socket is bound."""
+        started = threading.Event()
+        failure: list[BaseException] = []
+        self._loop = asyncio.new_event_loop()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            try:
+                server = HttpServer(self._service.router, host=self._host, port=self._port)
+                self._server = self._loop.run_until_complete(server.start())
+            except BaseException as error:  # pragma: no cover - bind failure
+                failure.append(error)
+                started.set()
+                return
+            started.set()
+            self._loop.run_forever()
+            # Drain: open keep-alive connections hold handler tasks;
+            # cancel them before closing the loop or they leak noisily.
+            self._loop.run_until_complete(server.close())
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            self._loop.close()
+
+        self._thread = threading.Thread(target=run, name="repro-serve", daemon=True)
+        self._thread.start()
+        started.wait(timeout=30)
+        if failure:  # pragma: no cover - bind failure
+            raise failure[0]
+        return self
+
+    def stop(self) -> None:
+        """Stop the server, join the thread, shut the job queue down."""
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+        self._service.close()
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+async def serve_async(service: ClusterService, *, host: str = "127.0.0.1",
+                      port: int = 8722, ready=None) -> None:
+    """Serve ``service`` until its shutdown event fires.
+
+    ``ready`` (optional callable) is invoked with the bound
+    :class:`HttpServer` once the socket is listening — the CLI uses it
+    to print the address, tests to discover an ephemeral port.
+    SIGINT/SIGTERM trigger the same graceful shutdown as
+    ``POST /shutdown``.
+    """
+    server = await HttpServer(service.router, host=host, port=port).start()
+    loop = asyncio.get_running_loop()
+    try:
+        import signal
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, service.shutdown_event.set)
+    except (ImportError, NotImplementedError, RuntimeError):  # pragma: no cover
+        pass
+    if ready is not None:
+        ready(server)
+    try:
+        await service.shutdown_event.wait()
+    finally:
+        await server.close()
+        service.close()
+
+
+def serve(service: ClusterService, *, host: str = "127.0.0.1", port: int = 8722) -> int:
+    """Blocking entry point for ``repro serve``; returns the exit code."""
+
+    def announce(server: HttpServer) -> None:
+        print(
+            f"repro service listening on http://{server.host}:{server.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    asyncio.run(serve_async(service, host=host, port=port, ready=announce))
+    print("repro service shut down cleanly", file=sys.stderr, flush=True)
+    return 0

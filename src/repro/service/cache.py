@@ -1,0 +1,194 @@
+"""In-process oracle cache: LRU byte-budget over a shared world store.
+
+The service's hot path.  Every clustering job and reliability estimate
+builds a short-lived :class:`~repro.sampling.oracle.MonteCarloOracle`
+attached to one shared :class:`~repro.sampling.store.WorldStore`, so
+the expensive part — the sampled world pool — is drawn once per
+``pool_fingerprint(graph, seed, backend, chunk_size)`` and reused by
+every later request with the same key, bit-identically (worlds are pure
+functions of ``(seed, i)``).  A warm repeated request therefore
+performs **zero** new world sampling and returns labels identical to
+the equivalent direct library call, which is pinned by
+``tests/test_service.py``'s sampler-spy test.
+
+Pools are evicted least-recently-used once their packed masks + labels
+exceed a byte budget.  Pools leased by an in-flight request are pinned
+and never evicted mid-computation; eviction of a disk-backed pool
+removes its directory (it will be re-sampled on the next miss — the
+cache is best-effort by construction, see the PR-3 invalidation
+contract in ``docs/ARCHITECTURE.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, OrderedDict
+from contextlib import contextmanager
+
+from repro.sampling.backends import resolve_backend
+from repro.sampling.oracle import MonteCarloOracle
+from repro.sampling.store import WorldStore, pool_fingerprint
+from repro.utils.rng import ensure_seed_sequence
+
+
+class OracleCache:
+    """LRU byte-budget cache of sampled world pools.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`WorldStore` (in-memory by default; pass a
+        disk-backed store to persist pools across service restarts).
+    max_bytes:
+        Eviction threshold over the summed packed-mask + label bytes of
+        all pools.  The budget is enforced when a lease is released,
+        never mid-lease, so a single pool larger than the budget still
+        serves its own request (and is evicted afterwards).
+
+    Examples
+    --------
+    >>> from repro.graph.uncertain_graph import UncertainGraph
+    >>> g = UncertainGraph.from_edges([(0, 1, 0.5), (1, 2, 0.5)])
+    >>> cache = OracleCache(max_bytes=1 << 20)
+    >>> with cache.lease(g, seed=7) as oracle:
+    ...     oracle.ensure_samples(64)
+    >>> with cache.lease(g, seed=7) as oracle:   # warm: zero sampling
+    ...     oracle.ensure_samples(64)
+    ...     oracle.cache_stats["worlds_sampled"]
+    0
+    >>> cache.stats()["pools"]
+    1
+    """
+
+    def __init__(self, store: WorldStore | None = None, *, max_bytes: int = 256 << 20):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self._store = store if store is not None else WorldStore()
+        self._max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._recency: OrderedDict[str, None] = OrderedDict()
+        self._pinned: Counter[str] = Counter()
+        self._leases = 0
+        self._warm_leases = 0
+        self._evictions = 0
+        self._worlds_cached = 0
+        self._worlds_sampled = 0
+
+    @property
+    def store(self) -> WorldStore:
+        """The shared world store behind the cache."""
+        return self._store
+
+    @property
+    def max_bytes(self) -> int:
+        """The configured byte budget."""
+        return self._max_bytes
+
+    @contextmanager
+    def lease(self, graph, *, seed, chunk_size: int = 512,
+              max_samples: int = 1_000_000, backend="auto", workers=1):
+        """Yield a store-attached oracle, pinning its pool for the lease.
+
+        The oracle is built fresh (oracles are single-threaded; the
+        shared state is the store) and closed on exit.  While the lease
+        is open the pool cannot be evicted; on release the pool is
+        marked most-recently-used, the lease's cache statistics are
+        folded into the cache totals, and the byte budget is enforced.
+
+        The pin is taken *before* the oracle registers the pool in the
+        store, and eviction clears victims while holding the cache
+        lock, so pin-vs-evict is race-free: an eviction either sees the
+        pin and skips the pool, or completes first — in which case this
+        lease's registration re-creates the pool and simply re-samples.
+        """
+        seed_seq = ensure_seed_sequence(seed)
+        resolved_backend = resolve_backend(backend, graph)
+        digest = pool_fingerprint(graph, seed_seq, resolved_backend.name, chunk_size)
+        oracle = None
+        with self._lock:
+            self._pinned[digest] += 1
+        try:
+            oracle = MonteCarloOracle(
+                graph, seed=seed_seq, chunk_size=chunk_size, max_samples=max_samples,
+                backend=resolved_backend, workers=workers, store=self._store,
+            )
+            yield oracle
+        finally:
+            stats = (
+                oracle.cache_stats if oracle is not None
+                else {"worlds_cached": 0, "worlds_sampled": 0}
+            )
+            if oracle is not None:
+                oracle.close()
+            with self._lock:
+                self._pinned[digest] -= 1
+                if self._pinned[digest] <= 0:
+                    del self._pinned[digest]
+                first_touch = digest not in self._recency
+                self._recency[digest] = None
+                self._recency.move_to_end(digest)
+                self._leases += 1
+                self._worlds_cached += stats["worlds_cached"]
+                self._worlds_sampled += stats["worlds_sampled"]
+                if stats["worlds_sampled"] == 0 and stats["worlds_cached"] > 0:
+                    self._warm_leases += 1
+            # The pool footprint can only grow when this lease sampled
+            # new worlds or touched a pool we have not accounted yet —
+            # warm repeats (the hot path) skip the store rescan.
+            if stats["worlds_sampled"] > 0 or first_touch:
+                self._enforce_budget()
+
+    def _pool_bytes(self) -> dict[str, int]:
+        return {
+            pool.digest: pool.mask_bytes + pool.label_bytes
+            for pool in self._store.info()
+        }
+
+    def _enforce_budget(self) -> None:
+        """Evict LRU unpinned pools until the byte budget is met.
+
+        Victim selection *and* the store clears happen under the cache
+        lock: a lease pinning between the two would otherwise race the
+        clear and lose its registered pool mid-computation.
+        """
+        sizes = self._pool_bytes()
+        with self._lock:
+            total = sum(sizes.values())
+            if total <= self._max_bytes:
+                return
+            # Pools the store holds but this process never leased (e.g.
+            # left over in a disk cache dir from earlier runs) count
+            # toward the total, so they must be evictable too — as the
+            # oldest candidates, before anything recently used —
+            # otherwise an over-budget legacy pool would force every
+            # fresh pool out forever.
+            unleased = [digest for digest in sorted(sizes) if digest not in self._recency]
+            for digest in unleased + list(self._recency):
+                if total <= self._max_bytes:
+                    break
+                if self._pinned.get(digest):
+                    continue
+                total -= sizes.get(digest, 0)
+                self._recency.pop(digest, None)
+                self._evictions += 1
+                self._store.clear(digest)
+
+    def stats(self) -> dict:
+        """Cache counters for the service's ``GET /cache`` endpoint.
+
+        ``leases`` counts completed leases, ``warm_leases`` the subset
+        that sampled nothing new; ``bytes`` is the current pool
+        footprint (packed masks + labels) against ``max_bytes``.
+        """
+        sizes = self._pool_bytes()
+        with self._lock:
+            return {
+                "pools": len(sizes),
+                "bytes": sum(sizes.values()),
+                "max_bytes": self._max_bytes,
+                "leases": self._leases,
+                "warm_leases": self._warm_leases,
+                "evictions": self._evictions,
+                "worlds_cached": self._worlds_cached,
+                "worlds_sampled": self._worlds_sampled,
+            }

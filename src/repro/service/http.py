@@ -1,0 +1,317 @@
+"""Minimal dependency-free asyncio HTTP/1.1 server.
+
+The clustering service must run anywhere the library runs, so this
+module implements just enough of HTTP/1.1 on top of
+:func:`asyncio.start_server` — no third-party web framework:
+
+* request parsing (request line, headers, ``Content-Length`` bodies)
+  with hard limits on header and body sizes;
+* keep-alive connections (closed on request, protocol error, or
+  HTTP/1.0);
+* a :class:`Router` mapping ``METHOD /path/{param}`` templates to
+  async handlers;
+* JSON responses everywhere — handlers return ``(status, payload)``
+  and every error, including a handler crash, is reported as a JSON
+  body ``{"error": ...}`` with the right status code.
+
+Handlers raise :class:`~repro.exceptions.ServiceError` for
+client-visible failures; the server translates the carried status.
+Everything else is deliberately boring: the interesting parts of the
+service live in :mod:`repro.service.app`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from collections.abc import Awaitable, Callable
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.exceptions import ServiceError
+
+#: Upper bound on the request head (request line + headers).
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Upper bound on a request body (graph uploads are the largest).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REQUEST_LINE_RE = re.compile(r"^([A-Z]+) (\S+) HTTP/(1\.[01])$")
+_PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+_STATUS_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request.
+
+    ``params`` holds the values captured from the route template (e.g.
+    ``{name}``) and is filled in by the router, not the parser.
+    """
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+    params: dict[str, str] = field(default_factory=dict)
+
+    def json(self):
+        """Decode the body as JSON, raising a 400 :class:`ServiceError`.
+
+        An empty body decodes to ``{}`` so optional-body endpoints need
+        no special casing.
+        """
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(f"malformed JSON body: {error}", status=400) from None
+
+    def text(self) -> str:
+        """Decode the body as UTF-8 text, raising a 400 :class:`ServiceError`."""
+        try:
+            return self.body.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ServiceError(f"body is not valid UTF-8: {error}", status=400) from None
+
+
+Handler = Callable[[Request], Awaitable[tuple[int, object]]]
+
+
+class Router:
+    """Match ``(method, path)`` pairs against ``/path/{param}`` templates.
+
+    Examples
+    --------
+    >>> import asyncio
+    >>> router = Router()
+    >>> async def show(request):
+    ...     return 200, {"graph": request.params["name"]}
+    >>> router.add("GET", "/graphs/{name}", show)
+    >>> request = Request("GET", "/graphs/toy", {}, {}, b"")
+    >>> handler = router.resolve(request)
+    >>> asyncio.run(handler(request))
+    (200, {'graph': 'toy'})
+    >>> request.params
+    {'name': 'toy'}
+    """
+
+    def __init__(self):
+        self._routes: list[tuple[str, re.Pattern, Handler]] = []
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` requests matching ``template``.
+
+        ``{param}`` segments match any non-empty run of characters other
+        than ``/`` and are exposed through ``request.params``.
+        """
+        pattern = _PARAM_RE.sub(r"(?P<\1>[^/]+)", re.escape(template).replace(r"\{", "{").replace(r"\}", "}"))
+        self._routes.append((method.upper(), re.compile(f"^{pattern}$"), handler))
+
+    def resolve(self, request: Request) -> Handler:
+        """Return the handler for ``request``, filling ``request.params``.
+
+        Raises a 404 :class:`ServiceError` for an unknown path and a 405
+        for a known path requested with the wrong method.
+        """
+        path_known = False
+        for method, pattern, handler in self._routes:
+            match = pattern.match(request.path)
+            if match is None:
+                continue
+            path_known = True
+            if method == request.method:
+                request.params = match.groupdict()
+                return handler
+        if path_known:
+            raise ServiceError(f"method {request.method} not allowed for {request.path}", status=405)
+        raise ServiceError(f"no such endpoint: {request.path}", status=404)
+
+
+def json_response(status: int, payload) -> bytes:
+    """Serialize one complete HTTP/1.1 response with a JSON body."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    reason = _STATUS_REASONS.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: keep-alive\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+class _ProtocolError(Exception):
+    """A request so malformed the connection must be dropped."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off ``reader``; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between requests
+        raise _ProtocolError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise _ProtocolError(413, f"request head exceeds {MAX_HEADER_BYTES} bytes") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise _ProtocolError(413, f"request head exceeds {MAX_HEADER_BYTES} bytes")
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise _ProtocolError(400, "undecodable request head") from None
+    match = _REQUEST_LINE_RE.match(lines[0])
+    if match is None:
+        raise _ProtocolError(400, f"malformed request line: {lines[0]!r}")
+    method, target, version = match.groups()
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _ProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    if "transfer-encoding" in headers:
+        # Bodies are framed by Content-Length only; silently ignoring a
+        # chunked body would register empty payloads and desync the
+        # keep-alive stream on the leftover chunk bytes.
+        raise _ProtocolError(501, "Transfer-Encoding is not supported; send a Content-Length body")
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _ProtocolError(400, "malformed Content-Length header") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise _ProtocolError(413, f"body of {length} bytes exceeds {MAX_BODY_BYTES}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise _ProtocolError(400, "truncated request body") from None
+    request = Request(method, split.path or "/", query, headers, body)
+    if version == "1.0" and headers.get("connection", "").lower() != "keep-alive":
+        headers["connection"] = "close"
+    return request
+
+
+class HttpServer:
+    """Serve a :class:`Router` over asyncio streams.
+
+    Parameters
+    ----------
+    router:
+        The route table; handlers are ``async (Request) -> (status,
+        payload)``.
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    """
+
+    def __init__(self, router: Router, *, host: str = "127.0.0.1", port: int = 0):
+        self._router = router
+        self._host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        """The configured bind host."""
+        return self._host
+
+    async def start(self) -> "HttpServer":
+        """Bind and start accepting connections; returns ``self``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._requested_port,
+            limit=MAX_HEADER_BYTES,
+        )
+        return self
+
+    async def close(self) -> None:
+        """Stop accepting connections and wait for the socket to close.
+
+        Handler tasks parked on idle keep-alive connections are
+        cancelled first — on Python >= 3.12.1 ``Server.wait_closed()``
+        waits for every connection handler, so leaving them blocked in
+        ``readuntil`` would hang shutdown until clients disconnect.
+        """
+        if self._server is not None:
+            self._server.close()
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(*self._connections, return_exceptions=True)
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _ProtocolError as error:
+                    writer.write(json_response(error.status, {"error": str(error)}))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                status, payload = await self._dispatch(request)
+                writer.write(json_response(status, payload))
+                await writer.drain()
+                if request.headers.get("connection", "").lower() == "close":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels handler tasks parked on idle
+            # keep-alive connections; ending quietly (instead of
+            # re-raising) keeps the stream-protocol teardown silent.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, request: Request) -> tuple[int, object]:
+        try:
+            handler = self._router.resolve(request)
+            return await handler(request)
+        except ServiceError as error:
+            return error.status, {"error": str(error)}
+        except Exception as error:  # noqa: BLE001 - last-resort boundary
+            return 500, {"error": f"{type(error).__name__}: {error}"}

@@ -1,0 +1,241 @@
+"""Background job queue with request coalescing and cancellation.
+
+Long-running clustering requests (``mcp``/``acp``/``mcl``/``gmm``) do
+not block the event loop: they are recorded as :class:`Job` objects and
+executed on a :class:`~concurrent.futures.ThreadPoolExecutor`, while
+HTTP clients poll ``GET /jobs/{id}`` and fetch ``/jobs/{id}/result``.
+
+Coalescing invariant
+    Jobs are keyed by the canonical JSON of their *normalized*
+    parameters (:func:`canonical_key`).  Submitting a job whose key
+    matches a job that is still queued or running returns the existing
+    job instead of enqueueing a duplicate — N identical in-flight
+    requests share one computation (and, through the shared world
+    store, one sampled pool).  A job that has finished is never
+    coalesced against: a repeat after completion is a fresh job, which
+    the oracle cache then serves warm with zero new sampling.
+
+Cancellation
+    ``cancel()`` flips the job's event.  A queued job is withdrawn from
+    the executor and marked ``cancelled`` immediately; a running job is
+    unwound cooperatively at its next ``cancel_check`` (between
+    threshold guesses in mcp/acp) via
+    :class:`~repro.exceptions.JobCancelledError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.exceptions import JobCancelledError, ServiceError
+
+#: Every state a job can be in; the last three are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+_TERMINAL = frozenset({"done", "failed", "cancelled"})
+
+
+def canonical_key(params: dict) -> str:
+    """Canonical JSON of normalized job parameters (the coalescing key).
+
+    Two parameter dicts with the same contents — regardless of key
+    order — produce the same key, so identical requests coalesce.
+
+    Examples
+    --------
+    >>> canonical_key({"k": 2, "graph": "toy"}) == canonical_key(
+    ...     {"graph": "toy", "k": 2})
+    True
+    """
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class Job:
+    """One background clustering request and its lifecycle state."""
+
+    id: str
+    key: str
+    params: dict
+    status: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: dict | None = None
+    error: str | None = None
+    #: Extra identical submissions folded into this job while in flight.
+    coalesced: int = 0
+    cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: Opaque payload captured at submission (the service stores the
+    #: resolved graph object here so a job is immune to the registry
+    #: entry being replaced mid-flight).  Never serialized.
+    context: object = field(default=None, repr=False)
+
+    def describe(self) -> dict:
+        """JSON-safe status summary (no result payload)."""
+        elapsed = None
+        if self.started_at is not None:
+            elapsed = (self.finished_at or time.time()) - self.started_at
+        return {
+            "id": self.id,
+            "status": self.status,
+            "params": self.params,
+            "coalesced": self.coalesced,
+            "error": self.error,
+            "elapsed_s": elapsed,
+        }
+
+
+class JobQueue:
+    """Thread-pool job queue with coalescing, polling, and cancellation.
+
+    Parameters
+    ----------
+    runner:
+        ``runner(job) -> dict`` executed on a worker thread; its return
+        value becomes ``job.result``.  Raising
+        :class:`JobCancelledError` marks the job ``cancelled``; any
+        other exception marks it ``failed`` with the message recorded.
+    workers:
+        Executor thread count — the number of clustering jobs that run
+        concurrently.
+    retain:
+        How many *terminal* jobs to keep for result retrieval; the
+        oldest are pruned beyond this.
+    """
+
+    def __init__(self, runner: Callable[[Job], dict], *, workers: int = 2,
+                 retain: int = 256):
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if retain <= 0:
+            raise ValueError(f"retain must be positive, got {retain}")
+        self._runner = runner
+        self._retain = int(retain)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._futures: dict[str, object] = {}
+        self._inflight: dict[str, str] = {}  # canonical key -> job id
+        self._ids = itertools.count(1)
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+
+    def submit(self, params: dict, *, key_suffix: str = "",
+               context: object = None) -> tuple[Job, bool]:
+        """Enqueue ``params`` (or coalesce onto an identical in-flight job).
+
+        Returns ``(job, coalesced)`` — ``coalesced`` is True when an
+        existing queued/running job with the same canonical key was
+        returned instead of a new one.  ``key_suffix`` extends the
+        coalescing key with identity the params alone cannot carry (the
+        service passes the graph-registry revision, so jobs against a
+        re-uploaded graph never coalesce across contents); ``context``
+        is attached to the job for the runner.
+        """
+        key = canonical_key(params) + (f"#{key_suffix}" if key_suffix else "")
+        with self._lock:
+            existing_id = self._inflight.get(key)
+            if existing_id is not None:
+                job = self._jobs[existing_id]
+                job.coalesced += 1
+                return job, True
+            job = Job(id=f"job-{next(self._ids):06d}", key=key, params=dict(params),
+                      context=context)
+            self._jobs[job.id] = job
+            self._inflight[key] = job.id
+            self._prune_locked()
+            self._futures[job.id] = self._executor.submit(self._run, job)
+        return job, False
+
+    def get(self, job_id: str) -> Job:
+        """The job with ``job_id``, or a 404 :class:`ServiceError`."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"no such job: {job_id}", status=404)
+        return job
+
+    def list(self) -> list[Job]:
+        """All retained jobs, oldest first."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel ``job_id``; terminal jobs are left untouched.
+
+        A queued job is marked ``cancelled`` synchronously; a running
+        one only after its worker observes the event at the next
+        ``cancel_check``, so callers may still see ``running`` briefly.
+        Either way the job stops being a coalescing target immediately
+        — a fresh identical submission gets a fresh job rather than
+        latching onto one that is doomed to finish ``cancelled``.
+        """
+        job = self.get(job_id)
+        with self._lock:
+            if job.status in _TERMINAL:
+                return job
+            job.cancel_event.set()
+            if self._inflight.get(job.key) == job.id:
+                del self._inflight[job.key]
+            future = self._futures.get(job_id)
+            if future is not None and future.cancel():
+                self._finish_locked(job, "cancelled", error="cancelled before start")
+        return job
+
+    def shutdown(self) -> None:
+        """Cancel queued jobs and wait for running ones to finish."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            if job.status not in _TERMINAL:
+                self.cancel(job.id)
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _run(self, job: Job) -> None:
+        with self._lock:
+            if job.status != "queued":  # cancelled between submit and start
+                return
+            if job.cancel_event.is_set():
+                self._finish_locked(job, "cancelled", error="cancelled before start")
+                return
+            job.status = "running"
+            job.started_at = time.time()
+        try:
+            result = self._runner(job)
+        except JobCancelledError as error:
+            with self._lock:
+                self._finish_locked(job, "cancelled", error=str(error) or "cancelled")
+        except Exception as error:  # noqa: BLE001 - job boundary
+            with self._lock:
+                self._finish_locked(job, "failed", error=f"{type(error).__name__}: {error}")
+        else:
+            with self._lock:
+                job.result = result
+                self._finish_locked(job, "done")
+
+    def _finish_locked(self, job: Job, status: str, *, error: str | None = None) -> None:
+        job.status = status
+        job.error = error
+        job.finished_at = time.time()
+        if job.started_at is None:
+            job.started_at = job.finished_at
+        if self._inflight.get(job.key) == job.id:
+            del self._inflight[job.key]
+        self._futures.pop(job.id, None)
+
+    def _prune_locked(self) -> None:
+        terminal = [j for j in self._jobs.values() if j.status in _TERMINAL]
+        excess = len(terminal) - self._retain
+        for job in terminal[:max(excess, 0)]:
+            del self._jobs[job.id]

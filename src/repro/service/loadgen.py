@@ -1,0 +1,319 @@
+"""Load generator for the clustering service (``repro bench-serve``).
+
+Drives a running service over plain asyncio sockets (keep-alive
+HTTP/1.1, no third-party client) and measures the three numbers the
+service exists for:
+
+``job/<algo>/cold``
+    Wall time of one clustering job submitted against an empty oracle
+    cache — sampling included.
+``job/<algo>/warm``
+    Wall time of the identical job repeated — served from the cached
+    pool with zero new sampling (the measurement asserts the service
+    reports ``warm`` when the first run sampled fresh worlds).
+``estimate/sustained``
+    Requests per second over ``duration`` seconds of ``concurrency``
+    keep-alive connections issuing reliability estimates against the
+    warm pool, with latency quantiles.
+
+Results are written as a schema-1 ``BENCH_service.json`` artifact
+(same layout as :mod:`benchmarks.record`, which cannot be imported
+from the installed package) and summarized on stdout.  The exit code
+is non-zero when any request fails — which is what makes the CI smoke
+job an assertion, not just a timing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import time
+from urllib.parse import urlsplit
+
+import numpy
+
+from repro.exceptions import ServiceError
+
+
+class ServiceClient:
+    """A minimal keep-alive HTTP/JSON client on asyncio streams.
+
+    One client owns one connection; open more clients for concurrency.
+    All request methods return ``(status, payload)`` with the payload
+    JSON-decoded.
+    """
+
+    def __init__(self, host: str, port: int):
+        self._host = host
+        self._port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServiceClient":
+        """Open the TCP connection."""
+        self._reader, self._writer = await asyncio.open_connection(self._host, self._port)
+        return self
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(self, method: str, path: str, body: object = None) -> tuple[int, object]:
+        """Issue one request on the persistent connection."""
+        if self._writer is None:
+            await self.connect()
+        payload = b""
+        content_type = ""
+        if body is not None:
+            if isinstance(body, (bytes, str)):
+                payload = body.encode("utf-8") if isinstance(body, str) else body
+                content_type = "text/plain"
+            else:
+                payload = json.dumps(body).encode("utf-8")
+                content_type = "application/json"
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+        )
+        if content_type:
+            head += f"Content-Type: {content_type}\r\n"
+        head += "\r\n"
+        self._writer.write(head.encode("ascii") + payload)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        parts = status_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServiceError(f"malformed response status line: {status_line!r}", status=502)
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await self._reader.readexactly(length) if length else b""
+        return status, (json.loads(raw) if raw else None)
+
+
+async def wait_ready(host: str, port: int, *, timeout: float = 30.0) -> None:
+    """Poll ``/healthz`` until the service answers 200 (or raise)."""
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        client = ServiceClient(host, port)
+        try:
+            status, _payload = await client.request("GET", "/healthz")
+            if status == 200:
+                return
+            last_error = ServiceError(f"healthz returned {status}", status=502)
+        except (OSError, asyncio.IncompleteReadError, ServiceError) as error:
+            last_error = error
+        finally:
+            await client.close()
+        await asyncio.sleep(0.1)
+    raise ServiceError(f"service at {host}:{port} never became healthy: {last_error}", status=502)
+
+
+async def run_job(client: ServiceClient, job_params: dict, *,
+                  poll_interval: float = 0.02, timeout: float = 600.0) -> dict:
+    """Submit a job, poll to completion, and return its result payload."""
+    status, submitted = await client.request("POST", "/jobs", job_params)
+    if status != 202:
+        raise ServiceError(f"job submission failed ({status}): {submitted}", status=502)
+    job_id = submitted["job"]
+    deadline = time.monotonic() + timeout
+    while True:
+        status, described = await client.request("GET", f"/jobs/{job_id}")
+        if status != 200:
+            raise ServiceError(f"job poll failed ({status}): {described}", status=502)
+        if described["status"] in ("done", "failed", "cancelled"):
+            break
+        if time.monotonic() > deadline:
+            raise ServiceError(f"job {job_id} timed out", status=502)
+        await asyncio.sleep(poll_interval)
+    if described["status"] != "done":
+        raise ServiceError(
+            f"job {job_id} finished {described['status']}: {described.get('error')}",
+            status=502,
+        )
+    status, result = await client.request("GET", f"/jobs/{job_id}/result")
+    if status != 200:
+        raise ServiceError(f"result fetch failed ({status}): {result}", status=502)
+    return result
+
+
+async def _estimate_worker(host: str, port: int, path: str, stop_at: float,
+                           latencies: list, failures: list) -> None:
+    client = await ServiceClient(host, port).connect()
+    try:
+        while time.monotonic() < stop_at:
+            begin = time.perf_counter()
+            status, _payload = await client.request("GET", path)
+            if status != 200:
+                failures.append(status)
+                return
+            latencies.append(time.perf_counter() - begin)
+    finally:
+        await client.close()
+
+
+def _quantile(sorted_values: list, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+async def run_load(url: str, *, graph: str, algorithm: str = "mcp", k: int = 4,
+                   samples: int = 500, seed: int = 0, duration: float = 3.0,
+                   concurrency: int = 4, upload: str | None = None,
+                   u: str = "0", v: str = "1") -> dict:
+    """Run the full measurement against a live service.
+
+    Returns a dict with the three benchmark cells plus request totals;
+    raises :class:`ServiceError` when any request misbehaves.  With
+    ``upload`` set, the file's ``.uel`` text is uploaded under
+    ``graph`` first.
+    """
+    split = urlsplit(url if "//" in url else f"http://{url}")
+    host, port = split.hostname or "127.0.0.1", split.port or 80
+    await wait_ready(host, port)
+    client = await ServiceClient(host, port).connect()
+    try:
+        if upload is not None:
+            with open(upload, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            status, payload = await client.request("PUT", f"/graphs/{graph}", text)
+            if status != 200:
+                raise ServiceError(f"graph upload failed ({status}): {payload}", status=502)
+        job_params = {"graph": graph, "algorithm": algorithm, "k": k,
+                      "samples": samples, "seed": seed}
+
+        begin = time.perf_counter()
+        cold = await run_job(client, job_params)
+        cold_seconds = time.perf_counter() - begin
+
+        begin = time.perf_counter()
+        warm = await run_job(client, job_params)
+        warm_seconds = time.perf_counter() - begin
+        if cold.get("worlds_sampled", 0) > 0 and not warm.get("warm", False):
+            raise ServiceError(
+                "warm repeat was not served from the oracle cache "
+                f"(cold sampled {cold.get('worlds_sampled')}, "
+                f"warm sampled {warm.get('worlds_sampled')})",
+                status=502,
+            )
+        if warm.get("assignment") != cold.get("assignment"):
+            raise ServiceError("warm labels differ from cold labels", status=502)
+
+        estimate_path = f"/graphs/{graph}/estimate?u={u}&v={v}&samples={samples}&seed={seed}"
+        status, payload = await client.request("GET", estimate_path)
+        if status != 200:
+            raise ServiceError(f"estimate failed ({status}): {payload}", status=502)
+        latencies: list = []
+        failures: list = []
+        stop_at = time.monotonic() + duration
+        await asyncio.gather(*(
+            _estimate_worker(host, port, estimate_path, stop_at, latencies, failures)
+            for _ in range(concurrency)
+        ))
+        if failures:
+            raise ServiceError(f"sustained load saw non-200 responses: {failures}", status=502)
+        if not latencies:
+            raise ServiceError("sustained load completed zero requests", status=502)
+        latencies.sort()
+    finally:
+        await client.close()
+    return {
+        "algorithm": algorithm,
+        "graph": graph,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_worlds_sampled": cold.get("worlds_sampled"),
+        "warm_worlds_sampled": warm.get("worlds_sampled"),
+        "warm": warm.get("warm"),
+        "sustained_requests": len(latencies),
+        "sustained_duration_s": duration,
+        "requests_per_second": len(latencies) / duration,
+        "latency_p50_s": _quantile(latencies, 0.50),
+        "latency_p95_s": _quantile(latencies, 0.95),
+        "concurrency": concurrency,
+    }
+
+
+def write_artifact(results: dict, path) -> None:
+    """Write ``results`` as a schema-1 ``BENCH_service.json`` artifact.
+
+    The layout matches ``benchmarks/record.py`` so
+    ``benchmarks/compare.py`` can diff service artifacts against the
+    committed baseline like any other suite.
+    """
+    algo = results["algorithm"]
+    benchmarks = {
+        f"job/{algo}/cold": {
+            "seconds": results["cold_seconds"],
+            "items": 1,
+            "throughput": 1.0 / results["cold_seconds"],
+            "meta": {"graph": results["graph"], "worlds_sampled": results["cold_worlds_sampled"]},
+        },
+        f"job/{algo}/warm": {
+            "seconds": results["warm_seconds"],
+            "items": 1,
+            "throughput": 1.0 / results["warm_seconds"],
+            "meta": {"graph": results["graph"], "worlds_sampled": results["warm_worlds_sampled"]},
+        },
+        "estimate/sustained": {
+            "seconds": results["sustained_duration_s"],
+            "items": results["sustained_requests"],
+            "throughput": results["requests_per_second"],
+            "meta": {
+                "concurrency": results["concurrency"],
+                "latency_p50_s": results["latency_p50_s"],
+                "latency_p95_s": results["latency_p95_s"],
+            },
+        },
+    }
+    artifact = {
+        "schema": 1,
+        "suite": "service",
+        "host": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "benchmarks": benchmarks,
+    }
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def summarize(results: dict) -> str:
+    """Human-readable one-screen summary of a load run."""
+    return (
+        f"cold {results['algorithm']} job   {results['cold_seconds'] * 1000:8.1f} ms "
+        f"({results['cold_worlds_sampled']} worlds sampled)\n"
+        f"warm {results['algorithm']} job   {results['warm_seconds'] * 1000:8.1f} ms "
+        f"(zero sampling: {results['warm']})\n"
+        f"sustained estimates {results['requests_per_second']:8.1f} req/s "
+        f"over {results['sustained_duration_s']:.1f}s x{results['concurrency']} "
+        f"(p50 {results['latency_p50_s'] * 1000:.1f} ms, "
+        f"p95 {results['latency_p95_s'] * 1000:.1f} ms)"
+    )

@@ -207,12 +207,61 @@ class TestWorldCache:
 
 
 class TestMeta:
-    def test_version_flag(self, capsys):
+    def test_version_flag_reports_package_version(self, capsys):
+        from repro import __version__
+
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
-        assert "repro 1.0.0" in capsys.readouterr().out
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
 
     def test_requires_subcommand(self, capsys):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServeParser:
+    """`serve` / `bench-serve` argument plumbing (the server itself is
+    exercised end-to-end in tests/test_service.py)."""
+
+    def test_serve_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8722
+        assert args.workers == 2
+        assert args.world_cache is None
+        assert args.cache_bytes == 256 << 20
+
+    def test_serve_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--workers", "4",
+             "--world-cache", "/tmp/wc", "--graph", "g.uel:toy",
+             "--sampling-workers", "auto", "--cache-bytes", "1024"]
+        )
+        assert args.port == 9000
+        assert args.workers == 4
+        assert args.graph == ["g.uel:toy"]
+        assert args.cache_bytes == 1024
+
+    def test_serve_missing_graph_file_reports_error(self, capsys):
+        assert main(["serve", "--graph", "/nonexistent.uel"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_serve_requires_graph(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench-serve", "http://x:1"])
+
+    def test_bench_serve_unreachable_url_reports_error(self, capsys, monkeypatch):
+        import repro.service.loadgen as loadgen
+
+        monkeypatch.setitem(loadgen.wait_ready.__kwdefaults__, "timeout", 0.2)
+        assert main(
+            ["bench-serve", "http://127.0.0.1:1", "--graph", "toy"]
+        ) == 2
+        assert "never became healthy" in capsys.readouterr().err

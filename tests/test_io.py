@@ -52,6 +52,27 @@ class TestReading:
         with pytest.raises(GraphValidationError, match="not a number"):
             read_uncertain_graph(path)
 
+    @pytest.mark.parametrize("token", ["1.5", "-0.1", "nan", "inf", "-inf", "2e3"])
+    def test_out_of_range_probability_raises_with_line(self, tmp_path, token):
+        path = tmp_path / "bad.uel"
+        path.write_text(f"0 1 0.5\n1 2 {token}\n")
+        with pytest.raises(GraphValidationError, match=r"line 2.*outside \[0, 1\]"):
+            read_uncertain_graph(path)
+
+    def test_zero_probability_raises_with_line(self, tmp_path):
+        path = tmp_path / "bad.uel"
+        path.write_text("0 1 0.0\n")
+        with pytest.raises(GraphValidationError, match="line 1.*probability-0"):
+            read_uncertain_graph(path)
+
+    def test_parse_text_validates_like_files(self):
+        from repro.graph.io import parse_uncertain_graph_text
+
+        graph = parse_uncertain_graph_text("a b 0.5\nb c 1\n")
+        assert graph.n_edges == 2
+        with pytest.raises(GraphValidationError, match="line 2"):
+            parse_uncertain_graph_text("a b 0.5\na c nan\n")
+
     def test_numeric_labels_rejects_strings(self, tmp_path):
         path = tmp_path / "bad.uel"
         path.write_text("a b 0.5\n")

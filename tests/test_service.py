@@ -1,0 +1,714 @@
+"""End-to-end tests of the async clustering service.
+
+The server runs in-process (:class:`BackgroundServer` on a daemon
+thread) and is exercised over real sockets with ``http.client``, so
+request parsing, routing, the executor hand-off, and JSON envelopes
+are all on the tested path.
+
+The load-bearing pins:
+
+* a warm repeated identical clustering job performs **zero** new
+  ``sample_chunk`` calls (sampler spy) and returns labels bit-identical
+  to the equivalent direct library call at the same seed;
+* N identical in-flight submissions coalesce onto one job;
+* error paths answer with the right status: unknown graph (404),
+  malformed JSON (400), job not found (404), result of a cancelled or
+  unfinished job (409).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.mcp import mcp_clustering
+from repro.exceptions import JobCancelledError, ServiceError
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.sampling.parallel import ParallelSampler
+from repro.sampling.sizes import PracticalSchedule
+from repro.service import BackgroundServer, ClusterService
+from repro.service.jobs import JobQueue, canonical_key
+
+TIMEOUT = 30.0
+
+
+def _toy_graph() -> UncertainGraph:
+    return UncertainGraph.from_edges(
+        [
+            (0, 1, 0.9), (1, 2, 0.9), (0, 2, 0.8),
+            (3, 4, 0.85), (4, 5, 0.85), (3, 5, 0.75),
+            (2, 3, 0.05),
+        ]
+    )
+
+
+class Client:
+    """Tiny synchronous JSON client over one keep-alive connection."""
+
+    def __init__(self, port: int):
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=TIMEOUT)
+
+    def request(self, method, path, body=None, content_type="application/json"):
+        headers = {}
+        if body is not None:
+            if isinstance(body, (dict, list)):
+                body = json.dumps(body)
+            headers["Content-Type"] = content_type
+        self.conn.request(method, path, body=body, headers=headers)
+        response = self.conn.getresponse()
+        raw = response.read()
+        return response.status, (json.loads(raw) if raw else None)
+
+    def wait_job(self, job_id: str) -> dict:
+        deadline = time.monotonic() + TIMEOUT
+        while time.monotonic() < deadline:
+            status, payload = self.request("GET", f"/jobs/{job_id}")
+            assert status == 200
+            if payload["status"] in ("done", "failed", "cancelled"):
+                return payload
+            time.sleep(0.01)
+        raise AssertionError(f"job {job_id} did not finish within {TIMEOUT}s")
+
+    def run_job(self, params: dict) -> dict:
+        status, payload = self.request("POST", "/jobs", params)
+        assert status == 202, payload
+        described = self.wait_job(payload["job"])
+        assert described["status"] == "done", described
+        status, result = self.request("GET", f"/jobs/{payload['job']}/result")
+        assert status == 200
+        return result
+
+    def close(self):
+        self.conn.close()
+
+
+@pytest.fixture
+def service():
+    svc = ClusterService(datasets=("krogan",), job_workers=2, cache_bytes=64 << 20)
+    svc.graphs.register_graph("toy", _toy_graph(), source="test")
+    return svc
+
+
+@pytest.fixture
+def server(service):
+    with BackgroundServer(service) as running:
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    c = Client(server.port)
+    yield c
+    c.close()
+
+
+class TestMetaEndpoints:
+    def test_healthz(self, client):
+        status, payload = client.request("GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["graphs"] == 2  # toy + lazy krogan
+
+    def test_version_matches_package(self, client):
+        from repro import __version__
+
+        assert client.request("GET", "/version") == (200, {"version": __version__})
+
+    def test_unknown_endpoint_404(self, client):
+        status, payload = client.request("GET", "/nope")
+        assert status == 404
+        assert "error" in payload
+
+    def test_wrong_method_405(self, client):
+        status, _ = client.request("DELETE", "/healthz")
+        assert status == 405
+
+    def test_malformed_request_line_400(self, server):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", server.port), timeout=TIMEOUT) as sock:
+            sock.sendall(b"BANANAS\r\n\r\n")
+            response = sock.recv(4096)
+        assert b"400" in response.split(b"\r\n", 1)[0]
+
+    def test_chunked_transfer_encoding_rejected(self, server):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", server.port), timeout=TIMEOUT) as sock:
+            sock.sendall(
+                b"PUT /graphs/x HTTP/1.1\r\nHost: h\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+                b"5\r\n0 1 1\r\n0\r\n\r\n"
+            )
+            response = sock.recv(4096)
+        assert b"501" in response.split(b"\r\n", 1)[0]
+
+    def test_keep_alive_connection_reuse(self, client):
+        # Two requests through one http.client connection = keep-alive.
+        assert client.request("GET", "/healthz")[0] == 200
+        assert client.request("GET", "/version")[0] == 200
+
+    def test_shutdown_not_blocked_by_idle_keepalive_connection(self):
+        # Python >= 3.12.1 makes Server.wait_closed() wait for handler
+        # tasks; close() must cancel the ones parked on idle keep-alive
+        # connections or shutdown hangs until clients go away.
+        svc = ClusterService(datasets=(), job_workers=1)
+        server = BackgroundServer(svc).start()
+        idle = Client(server.port)
+        try:
+            assert idle.request("GET", "/healthz")[0] == 200
+            begin = time.monotonic()
+            server.stop()  # idle keep-alive connection still open
+            assert time.monotonic() - begin < 10.0
+        finally:
+            idle.close()
+
+
+class TestGraphEndpoints:
+    def test_list_includes_builtin_and_uploaded(self, client):
+        status, payload = client.request("GET", "/graphs")
+        assert status == 200
+        names = {graph["name"]: graph for graph in payload["graphs"]}
+        assert names["toy"]["loaded"] is True
+        assert names["toy"]["nodes"] == 6
+        assert names["krogan"]["source"] == "builtin"
+        assert names["krogan"]["loaded"] is False  # lazy until first use
+
+    def test_stats(self, client):
+        status, payload = client.request("GET", "/graphs/toy")
+        assert status == 200
+        assert payload["nodes"] == 6
+        assert payload["edges"] == 7
+        assert payload["largest_component"]["nodes"] == 6
+        assert 0 < payload["edge_probability"]["min"] <= 1
+
+    def test_upload_json_edges(self, client):
+        status, payload = client.request(
+            "PUT", "/graphs/uploaded", {"edges": [["a", "b", 0.5], ["b", "c", 0.75]]}
+        )
+        assert (status, payload["nodes"], payload["edges"]) == (200, 3, 2)
+        status, payload = client.request("GET", "/graphs/uploaded")
+        assert status == 200 and payload["edges"] == 2
+
+    def test_upload_uel_text(self, client):
+        status, payload = client.request(
+            "PUT", "/graphs/text", "0 1 0.5\n1 2 0.25\n", content_type="text/plain"
+        )
+        assert status == 200
+        assert payload == {"name": "text", "nodes": 3, "edges": 2}
+
+    def test_upload_bad_probability_400_with_line(self, client):
+        status, payload = client.request(
+            "PUT", "/graphs/bad", "0 1 0.5\n1 2 1.5\n", content_type="text/plain"
+        )
+        assert status == 400
+        assert "line 2" in payload["error"]
+        assert client.request("GET", "/graphs/bad")[0] == 404  # nothing registered
+
+    def test_upload_json_nan_probability_400(self, client):
+        # json.loads accepts the NaN literal, and NaN passes from_edges's
+        # range comparisons — the upload path must catch it explicitly.
+        status, payload = client.request(
+            "PUT", "/graphs/bad", body='{"edges": [[0, 1, 0.5], [1, 2, NaN]]}'
+        )
+        assert status == 400
+        assert "edge 2" in payload["error"]
+        status, payload = client.request(
+            "PUT", "/graphs/bad", {"edges": [[0, 1, 1.5]]}
+        )
+        assert status == 400
+        assert "outside [0, 1]" in payload["error"]
+        status, payload = client.request(
+            "PUT", "/graphs/bad", {"edges": [[0, 1, 0.5], [1, 2]]}
+        )
+        assert status == 400
+        assert "triple" in payload["error"]
+
+    def test_upload_malformed_json_400(self, client):
+        status, payload = client.request("PUT", "/graphs/bad", body="{nope")
+        assert status == 400
+        assert "malformed JSON" in payload["error"]
+
+    def test_upload_json_non_object_body_400(self, client):
+        status, payload = client.request("PUT", "/graphs/bad", [[0, 1, 0.5]])
+        assert status == 400
+        assert "object" in payload["error"]
+
+    def test_delete(self, client):
+        client.request("PUT", "/graphs/gone", "0 1 0.5\n", content_type="text/plain")
+        assert client.request("DELETE", "/graphs/gone")[0] == 200
+        assert client.request("GET", "/graphs/gone")[0] == 404
+        assert client.request("DELETE", "/graphs/gone")[0] == 404
+
+    def test_unknown_graph_404(self, client):
+        status, payload = client.request("GET", "/graphs/missing")
+        assert status == 404
+        assert "no such graph" in payload["error"]
+
+
+class TestEstimate:
+    def test_estimate_matches_library(self, client):
+        status, payload = client.request(
+            "GET", "/graphs/toy/estimate?u=0&v=1&samples=400&seed=3"
+        )
+        assert status == 200
+        from repro.sampling.oracle import MonteCarloOracle
+
+        oracle = MonteCarloOracle(_toy_graph(), seed=3)
+        oracle.ensure_samples(400)
+        assert payload["estimate"] == oracle.connection(0, 1)
+
+    def test_estimate_warm_second_request(self, client):
+        path = "/graphs/toy/estimate?u=0&v=5&samples=300"
+        _, cold = client.request("GET", path)
+        _, warm = client.request("GET", path)
+        assert cold["worlds_sampled"] == 300
+        assert warm["worlds_sampled"] == 0
+        assert warm["worlds_cached"] == 300
+        assert warm["estimate"] == cold["estimate"]
+
+    def test_estimate_depth(self, client):
+        status, payload = client.request(
+            "GET", "/graphs/toy/estimate?u=0&v=5&samples=200&depth=1"
+        )
+        assert status == 200
+        assert payload["estimate"] == 0.0  # not adjacent
+
+    def test_missing_params_400(self, client):
+        status, payload = client.request("GET", "/graphs/toy/estimate?u=0")
+        assert status == 400
+        assert "'u' and 'v'" in payload["error"]
+
+    def test_unknown_node_404(self, client):
+        status, payload = client.request("GET", "/graphs/toy/estimate?u=0&v=banana")
+        assert status == 404
+        assert "no such node" in payload["error"]
+
+    def test_bad_samples_400(self, client):
+        status, _ = client.request("GET", "/graphs/toy/estimate?u=0&v=1&samples=goose")
+        assert status == 400
+
+    def test_samples_above_cap_400(self, client):
+        # A request must not be able to lift the oracle's sample budget.
+        status, payload = client.request(
+            "GET", "/graphs/toy/estimate?u=0&v=1&samples=2000000000"
+        )
+        assert status == 400
+        assert "samples" in payload["error"]
+
+
+class TestJobs:
+    PARAMS = {"graph": "toy", "algorithm": "mcp", "k": 2, "samples": 300, "seed": 0}
+
+    def test_warm_repeat_zero_sampling_and_bit_identical_labels(self, client, monkeypatch):
+        """The acceptance pin: sampler spy + library equivalence."""
+        calls = []
+        original = ParallelSampler.sample_chunk
+
+        def spying(self, seed_seq, start, count):
+            calls.append((start, count))
+            return original(self, seed_seq, start, count)
+
+        monkeypatch.setattr(ParallelSampler, "sample_chunk", spying)
+
+        cold = client.run_job(self.PARAMS)
+        assert cold["worlds_sampled"] > 0
+        calls_after_cold = len(calls)
+        assert calls_after_cold > 0
+
+        warm = client.run_job(self.PARAMS)
+        assert len(calls) == calls_after_cold  # zero new sample_chunk calls
+        assert warm["warm"] is True
+        assert warm["worlds_sampled"] == 0
+        assert warm["worlds_cached"] > 0
+        assert warm["assignment"] == cold["assignment"]
+        assert warm["centers"] == cold["centers"]
+
+        library = mcp_clustering(
+            _toy_graph(), 2, seed=0,
+            sample_schedule=PracticalSchedule(max_samples=300),
+        )
+        assert warm["assignment"] == [int(x) for x in library.clustering.assignment]
+        assert warm["centers"] == [int(x) for x in library.clustering.centers]
+        assert warm["min_prob"] == library.min_prob_estimate
+        assert warm["q_final"] == library.q_final
+
+    def test_acp_job(self, client):
+        result = client.run_job({**self.PARAMS, "algorithm": "acp"})
+        assert result["algorithm"] == "acp"
+        assert 0 <= result["avg_prob"] <= 1
+        assert len(result["assignment"]) == 6
+
+    def test_mcl_job(self, client):
+        result = client.run_job({"graph": "toy", "algorithm": "mcl"})
+        assert result["algorithm"] == "mcl"
+        assert result["n_clusters"] >= 1
+
+    def test_gmm_job(self, client):
+        result = client.run_job({"graph": "toy", "algorithm": "gmm", "k": 2})
+        assert result["algorithm"] == "gmm"
+        assert len(set(result["assignment"])) == 2
+
+    def test_mcp_acp_share_one_pool(self, client):
+        mcp = client.run_job({**self.PARAMS, "seed": 9})
+        acp = client.run_job({**self.PARAMS, "seed": 9, "algorithm": "acp"})
+        assert acp["pool_digest"] == mcp["pool_digest"]
+        # ACP may explore lower thresholds (needing pool growth), but it
+        # starts from MCP's pool instead of resampling it.
+        assert acp["worlds_cached"] >= mcp["worlds_sampled"] > 0
+
+    def test_unknown_graph_404(self, client):
+        status, payload = client.request("POST", "/jobs", {**self.PARAMS, "graph": "nope"})
+        assert status == 404
+        assert "no such graph" in payload["error"]
+
+    def test_malformed_body_400(self, client):
+        status, payload = client.request("POST", "/jobs", body="{broken")
+        assert status == 400
+        assert "malformed JSON" in payload["error"]
+
+    def test_unknown_algorithm_400(self, client):
+        status, payload = client.request("POST", "/jobs", {**self.PARAMS, "algorithm": "magic"})
+        assert status == 400
+        assert "algorithm" in payload["error"]
+
+    def test_unknown_field_400(self, client):
+        status, payload = client.request("POST", "/jobs", {**self.PARAMS, "bogus": 1})
+        assert status == 400
+        assert "bogus" in payload["error"]
+
+    def test_job_not_found_404(self, client):
+        assert client.request("GET", "/jobs/job-999999")[0] == 404
+        assert client.request("GET", "/jobs/job-999999/result")[0] == 404
+        assert client.request("DELETE", "/jobs/job-999999")[0] == 404
+
+    def test_result_before_done_409(self, service, client):
+        # Saturate both workers with a gate so the probe job stays queued.
+        gate = threading.Event()
+        original = service._run_job
+
+        def gated(job):
+            if job.params.get("algorithm") == "gmm":
+                gate.wait(TIMEOUT)
+            return original(job)
+
+        service.jobs._runner = gated
+        try:
+            for seed in (101, 102):
+                client.request("POST", "/jobs", {"graph": "toy", "algorithm": "gmm",
+                                                 "k": 2, "seed": seed})
+            status, submitted = client.request("POST", "/jobs", {**self.PARAMS, "seed": 77})
+            assert status == 202
+            status, payload = client.request("GET", f"/jobs/{submitted['job']}/result")
+            assert status == 409
+            assert "not done" in payload["error"]
+        finally:
+            gate.set()
+            service.jobs._runner = original
+        client.wait_job(submitted["job"])
+
+    def test_cancel_queued_job(self, service, client):
+        gate = threading.Event()
+        original = service._run_job
+
+        def gated(job):
+            if job.params.get("algorithm") == "gmm":
+                gate.wait(TIMEOUT)
+            return original(job)
+
+        service.jobs._runner = gated
+        try:
+            for seed in (201, 202):
+                client.request("POST", "/jobs", {"graph": "toy", "algorithm": "gmm",
+                                                 "k": 2, "seed": seed})
+            _, submitted = client.request("POST", "/jobs", {**self.PARAMS, "seed": 88})
+            status, payload = client.request("DELETE", f"/jobs/{submitted['job']}")
+            assert status == 202
+            described = client.wait_job(submitted["job"])
+            assert described["status"] == "cancelled"
+            status, payload = client.request("GET", f"/jobs/{submitted['job']}/result")
+            assert status == 409
+            assert "cancelled" in payload["error"]
+        finally:
+            gate.set()
+            service.jobs._runner = original
+
+    def test_coalescing_identical_inflight_jobs(self, service, client):
+        gate = threading.Event()
+        original = service._run_job
+
+        def gated(job):
+            gate.wait(TIMEOUT)
+            return original(job)
+
+        service.jobs._runner = gated
+        try:
+            params = {**self.PARAMS, "seed": 55}
+            _, first = client.request("POST", "/jobs", params)
+            assert first["coalesced"] is False
+            # Field order and explicit defaults must not defeat coalescing.
+            _, second = client.request(
+                "POST", "/jobs",
+                {"seed": 55, "k": 2, "samples": 300, "graph": "toy",
+                 "algorithm": "mcp", "backend": "auto"},
+            )
+            assert second["job"] == first["job"]
+            assert second["coalesced"] is True
+            _, different = client.request("POST", "/jobs", {**params, "seed": 56})
+            assert different["job"] != first["job"]
+        finally:
+            gate.set()
+            service.jobs._runner = original
+        assert client.wait_job(first["job"])["status"] == "done"
+        status, payload = client.request("GET", f"/jobs/{first['job']}")
+        assert payload["coalesced"] == 1
+
+    def test_reupload_does_not_coalesce_or_redirect_inflight_jobs(self, service, client):
+        gate = threading.Event()
+        original = service._run_job
+
+        def gated(job):
+            gate.wait(TIMEOUT)
+            return original(job)
+
+        service.jobs._runner = gated
+        client.request("PUT", "/graphs/mut", "0 1 0.9\n1 2 0.9\n2 3 0.9\n",
+                       content_type="text/plain")
+        params = {"graph": "mut", "algorithm": "gmm", "k": 2}
+        try:
+            _, first = client.request("POST", "/jobs", params)
+            # Replace the graph under the same name while the job waits.
+            client.request("PUT", "/graphs/mut",
+                           "0 1 0.9\n1 2 0.9\n2 3 0.9\n3 4 0.9\n",
+                           content_type="text/plain")
+            _, second = client.request("POST", "/jobs", params)
+            assert second["job"] != first["job"]  # new contents: no coalescing
+            assert second["coalesced"] is False
+        finally:
+            gate.set()
+            service.jobs._runner = original
+        client.wait_job(first["job"])
+        client.wait_job(second["job"])
+        _, res1 = client.request("GET", f"/jobs/{first['job']}/result")
+        _, res2 = client.request("GET", f"/jobs/{second['job']}/result")
+        # Each job ran on the graph captured at its submission.
+        assert len(res1["assignment"]) == 4
+        assert len(res2["assignment"]) == 5
+
+    def test_samples_below_schedule_floor_400(self, client):
+        status, payload = client.request("POST", "/jobs", {**self.PARAMS, "samples": 10})
+        assert status == 400
+        assert "samples" in payload["error"] and "50" in payload["error"]
+
+    def test_job_samples_above_cap_400(self, client):
+        status, payload = client.request(
+            "POST", "/jobs", {**self.PARAMS, "samples": 2_000_000_000}
+        )
+        assert status == 400
+        assert "samples" in payload["error"]
+
+    def test_jobs_list(self, client):
+        client.run_job({"graph": "toy", "algorithm": "gmm", "k": 3})
+        status, payload = client.request("GET", "/jobs")
+        assert status == 200
+        assert any(job["status"] == "done" for job in payload["jobs"])
+
+    def test_cache_endpoint_reports_pools(self, client):
+        client.run_job(self.PARAMS)
+        status, payload = client.request("GET", "/cache")
+        assert status == 200
+        assert payload["pools"] >= 1
+        assert payload["bytes"] > 0
+        assert payload["leases"] >= 1
+
+
+class TestJobQueueUnit:
+    """Queue semantics that are racy to pin over HTTP."""
+
+    def test_canonical_key_order_insensitive(self):
+        assert canonical_key({"a": 1, "b": 2}) == canonical_key({"b": 2, "a": 1})
+        assert canonical_key({"a": 1}) != canonical_key({"a": 2})
+
+    def test_coalesces_only_while_in_flight(self):
+        release = threading.Event()
+        queue = JobQueue(lambda job: (release.wait(TIMEOUT), {"ok": True})[1], workers=1)
+        try:
+            first, coalesced_first = queue.submit({"x": 1})
+            again, coalesced_again = queue.submit({"x": 1})
+            assert not coalesced_first and coalesced_again
+            assert again.id == first.id and first.coalesced == 1
+            release.set()
+            _wait_terminal(queue, first.id)
+            fresh, coalesced_fresh = queue.submit({"x": 1})
+            assert not coalesced_fresh and fresh.id != first.id
+            _wait_terminal(queue, fresh.id)
+        finally:
+            release.set()
+            queue.shutdown()
+
+    def test_cancel_running_job_via_cancel_check(self):
+        started = threading.Event()
+
+        def runner(job):
+            started.set()
+            deadline = time.monotonic() + TIMEOUT
+            while time.monotonic() < deadline:
+                if job.cancel_event.is_set():
+                    raise JobCancelledError("observed cancel")
+                time.sleep(0.005)
+            raise AssertionError("cancel never observed")
+
+        queue = JobQueue(runner, workers=1)
+        try:
+            job, _ = queue.submit({"slow": True})
+            assert started.wait(TIMEOUT)
+            queue.cancel(job.id)
+            final = _wait_terminal(queue, job.id)
+            assert final.status == "cancelled"
+            assert "observed cancel" in final.error
+        finally:
+            queue.shutdown()
+
+    def test_cancelled_job_stops_coalescing_immediately(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(job):
+            started.set()
+            release.wait(TIMEOUT)
+            if job.cancel_event.is_set():
+                raise JobCancelledError("cancelled")
+            return {"ok": True}
+
+        queue = JobQueue(runner, workers=1)
+        try:
+            doomed, _ = queue.submit({"x": 1})
+            assert started.wait(TIMEOUT)
+            queue.cancel(doomed.id)  # running: key must leave _inflight now
+            fresh, coalesced = queue.submit({"x": 1})
+            assert not coalesced
+            assert fresh.id != doomed.id
+            release.set()
+            assert _wait_terminal(queue, doomed.id).status == "cancelled"
+            assert _wait_terminal(queue, fresh.id).status == "done"
+        finally:
+            release.set()
+            queue.shutdown()
+
+    def test_failure_recorded_not_raised(self):
+        queue = JobQueue(lambda job: 1 / 0, workers=1)
+        try:
+            job, _ = queue.submit({})
+            final = _wait_terminal(queue, job.id)
+            assert final.status == "failed"
+            assert "ZeroDivisionError" in final.error
+            with pytest.raises(ServiceError):
+                queue.get("job-424242")
+        finally:
+            queue.shutdown()
+
+    def test_terminal_jobs_pruned(self):
+        queue = JobQueue(lambda job: {}, workers=1, retain=2)
+        try:
+            ids = [queue.submit({"i": i})[0].id for i in range(5)]
+            for job_id in ids:
+                _wait_terminal(queue, job_id)
+            queue.submit({"i": 99})
+            assert len(queue.list()) <= 4  # 2 retained + in-flight slack
+        finally:
+            queue.shutdown()
+
+
+def _wait_terminal(queue: JobQueue, job_id: str):
+    deadline = time.monotonic() + TIMEOUT
+    while time.monotonic() < deadline:
+        job = queue.get(job_id)
+        if job.status in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(0.005)
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+class TestCancelCheckLibrary:
+    """cancel_check= is honored by the core entrypoints themselves."""
+
+    def test_mcp_cancel_check_aborts(self):
+        calls = []
+
+        def cancel_check():
+            calls.append(None)
+            if len(calls) >= 2:
+                raise JobCancelledError("stop")
+
+        # k=1 forces the threshold past the 0.05 bridge, so the schedule
+        # needs several guesses — the second one is cancelled.
+        with pytest.raises(JobCancelledError):
+            mcp_clustering(_toy_graph(), 1, seed=0, cancel_check=cancel_check)
+        assert len(calls) == 2
+
+    def test_acp_cancel_check_aborts(self):
+        from repro.core.acp import acp_clustering
+
+        def cancel_check():
+            raise JobCancelledError("stop")
+
+        with pytest.raises(JobCancelledError):
+            acp_clustering(_toy_graph(), 2, seed=0, cancel_check=cancel_check)
+
+
+class TestOracleCacheEviction:
+    def test_lru_eviction_respects_budget_and_pins(self):
+        from repro.service.cache import OracleCache
+
+        graph = _toy_graph()
+        # One 6-node/7-edge pool of 256 worlds: 256*8 mask bytes (1 word)
+        # + 256*6*4 label bytes ~ 8 KiB. Budget of 10 KiB keeps one.
+        cache = OracleCache(max_bytes=10 * 1024)
+        for seed in range(3):
+            with cache.lease(graph, seed=seed) as oracle:
+                oracle.ensure_samples(256)
+        stats = cache.stats()
+        assert stats["evictions"] >= 2
+        assert stats["bytes"] <= 10 * 1024
+        assert stats["pools"] == 1
+        # The surviving pool is the most recently used: seed=2 is warm.
+        with cache.lease(graph, seed=2) as oracle:
+            oracle.ensure_samples(256)
+            assert oracle.cache_stats["worlds_sampled"] == 0
+
+    def test_legacy_disk_pools_are_evictable(self, tmp_path):
+        from repro.sampling.store import WorldStore
+        from repro.service.cache import OracleCache
+
+        graph = _toy_graph()
+        # A previous process leaves a pool in the cache directory...
+        from repro.sampling.oracle import MonteCarloOracle
+
+        with MonteCarloOracle(graph, seed=99, store=WorldStore(tmp_path)) as old:
+            old.ensure_samples(512)
+        # ...that alone exceeds this service's budget. It must be the
+        # eviction victim — not every pool this process actually uses.
+        cache = OracleCache(WorldStore(tmp_path), max_bytes=12 * 1024)
+        for _ in range(2):
+            with cache.lease(graph, seed=0) as oracle:
+                oracle.ensure_samples(256)
+        stats = cache.stats()
+        assert stats["warm_leases"] == 1  # second lease stayed warm
+        digests = {pool.digest for pool in cache.store.info()}
+        assert len(digests) == 1  # legacy pool evicted, active one kept
+
+    def test_pinned_pool_never_evicted_mid_lease(self):
+        from repro.service.cache import OracleCache
+
+        graph = _toy_graph()
+        cache = OracleCache(max_bytes=1)  # everything over budget
+        with cache.lease(graph, seed=0) as oracle:
+            oracle.ensure_samples(128)
+            # Mid-lease the pool must still be readable and intact.
+            assert cache.store.count(oracle.pool_digest) == 128
+        # After release the budget evicts it.
+        assert cache.stats()["pools"] == 0

@@ -1,0 +1,163 @@
+"""Concurrent `WorldStore`/oracle access from threads.
+
+The clustering service executes jobs on a thread pool where every
+worker builds its own :class:`MonteCarloOracle` against one shared
+:class:`WorldStore` — the supported sharing pattern (oracles themselves
+are single-threaded).  These tests pin that pattern: concurrent growth,
+concurrent warm readers racing a writer, and the service-level
+:class:`OracleCache` under thread pressure, for both in-memory and
+disk-backed stores.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.sampling.oracle import MonteCarloOracle
+from repro.sampling.store import WorldStore
+from repro.service.cache import OracleCache
+
+N_THREADS = 6
+POOL = 600
+
+
+@pytest.fixture
+def graph() -> UncertainGraph:
+    rng = np.random.default_rng(7)
+    edges = []
+    for u in range(40):
+        for v in rng.choice(40, size=3, replace=False):
+            if u < v:
+                edges.append((u, int(v), float(rng.uniform(0.05, 0.95))))
+    return UncertainGraph.from_edges(edges, merge="max")
+
+
+def _run_threads(worker, count=N_THREADS):
+    errors = []
+    barrier = threading.Barrier(count)
+
+    def wrapped(index):
+        try:
+            barrier.wait(timeout=30)
+            worker(index)
+        except Exception as error:  # noqa: BLE001 - collected for the assert
+            errors.append(error)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors
+
+
+@pytest.mark.parametrize("persistent", [False, True])
+def test_concurrent_oracles_grow_one_pool_bit_identically(graph, persistent, tmp_path):
+    store = WorldStore(tmp_path / "wc") if persistent else WorldStore()
+    results = [None] * N_THREADS
+
+    def worker(index):
+        with MonteCarloOracle(graph, seed=3, store=store) as oracle:
+            oracle.ensure_samples(POOL)
+            results[index] = oracle.component_labels.copy()
+
+    _run_threads(worker)
+    reference = MonteCarloOracle(graph, seed=3)
+    reference.ensure_samples(POOL)
+    expected = reference.component_labels
+    for labels in results:
+        assert np.array_equal(labels, expected)
+    (pool,) = store.info()
+    assert pool.n_worlds == POOL
+
+
+def test_warm_readers_race_a_growing_writer(graph):
+    store = WorldStore()
+    with MonteCarloOracle(graph, seed=5, store=store) as seed_oracle:
+        seed_oracle.ensure_samples(128)
+    digest = seed_oracle.pool_digest
+    stop = threading.Event()
+
+    def writer(_index):
+        with MonteCarloOracle(graph, seed=5, store=store) as oracle:
+            for target in range(128, POOL + 1, 64):
+                oracle.ensure_samples(target)
+            oracle.ensure_samples(POOL)
+        stop.set()
+
+    def reader(_index):
+        words = None
+        while not stop.is_set():
+            count = store.count(digest)
+            packed, labels = store.read(digest, 0, count)
+            assert packed.shape[0] == labels.shape[0] == count
+            if words is None:
+                words = packed.shape[1]
+            assert packed.shape[1] == words
+
+    _run_threads(lambda i: writer(i) if i == 0 else reader(i), count=4)
+    assert store.count(digest) == POOL
+
+
+def test_concurrent_mixed_size_requests(graph, tmp_path):
+    """Threads asking for different pool sizes still share one prefix."""
+    store = WorldStore(tmp_path / "wc")
+    sizes = [100, 250, 400, 550, 300, 150]
+    results = [None] * len(sizes)
+
+    def worker(index):
+        with MonteCarloOracle(graph, seed=11, store=store) as oracle:
+            oracle.ensure_samples(sizes[index])
+            results[index] = oracle.component_labels.copy()
+
+    _run_threads(worker, count=len(sizes))
+    reference = MonteCarloOracle(graph, seed=11)
+    reference.ensure_samples(max(sizes))
+    expected = reference.component_labels
+    for size, labels in zip(sizes, results):
+        assert labels.shape[0] == size
+        assert np.array_equal(labels, expected[:size])
+    (pool,) = store.info()
+    assert pool.n_worlds == max(sizes)
+
+
+def test_oracle_cache_concurrent_leases(graph):
+    cache = OracleCache(max_bytes=64 << 20)
+    estimates = [None] * N_THREADS
+
+    def worker(index):
+        with cache.lease(graph, seed=1) as oracle:
+            oracle.ensure_samples(256)
+            estimates[index] = oracle.connection(0, 1)
+
+    _run_threads(worker)
+    assert len(set(estimates)) == 1  # every thread saw the same pool
+    stats = cache.stats()
+    assert stats["pools"] == 1
+    assert stats["leases"] == N_THREADS
+    # Exactly one pool's worth of worlds was sampled across all threads
+    # (threads may interleave chunk draws, but the store dedupes rows).
+    (pool,) = cache.store.info()
+    assert pool.n_worlds == 256
+
+
+def test_info_stable_while_growing(graph):
+    store = WorldStore()
+    done = threading.Event()
+
+    def writer(_index):
+        with MonteCarloOracle(graph, seed=2, store=store) as oracle:
+            oracle.ensure_samples(POOL)
+        done.set()
+
+    def prober(_index):
+        while not done.is_set():
+            for pool in store.info():
+                assert 0 <= pool.n_worlds <= POOL
+                assert pool.mask_bytes >= 0
+
+    _run_threads(lambda i: writer(i) if i == 0 else prober(i), count=3)
