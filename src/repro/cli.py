@@ -5,6 +5,8 @@ Usage::
     python -m repro.cli stats graph.uel
     python -m repro.cli estimate graph.uel A B --samples 4000
     python -m repro.cli cluster graph.uel --k 20 --algorithm mcp -o out.tsv
+    python -m repro.cli mutate graph.uel --update A B 0.9 --add A C 0.4 \
+        -o graph2.uel --world-cache .world-cache
     python -m repro.cli generate krogan --scale 0.2 -o krogan.uel
     python -m repro.cli cache info .world-cache
     python -m repro.cli cache clear .world-cache
@@ -186,6 +188,73 @@ def _cmd_cache_clear(args) -> int:
     return 0
 
 
+def _cmd_mutate(args) -> int:
+    """Apply edge mutations to a .uel graph, optionally migrating pools."""
+    from repro.sampling.deltas import derive_pool
+
+    graph = read_uncertain_graph(args.graph, merge=args.merge)
+
+    def label(token):
+        # Same two-way resolution as `repro estimate`: a token is a
+        # label as-typed, or its int coercion for integer-labeled nodes.
+        return token if token in graph.node_labels else _coerce(token)
+
+    def probability(token):
+        try:
+            return float(token)
+        except ValueError:
+            raise ReproError(f"probability {token!r} is not a number") from None
+
+    add = [(label(u), label(v), probability(p)) for u, v, p in (args.add or [])]
+    remove = [(label(u), label(v)) for u, v in (args.remove or [])]
+    update = [(label(u), label(v), probability(p)) for u, v, p in (args.update or [])]
+    if not (add or remove or update):
+        print("error: no mutation ops given (--add/--remove/--update)", file=sys.stderr)
+        return 2
+    mutated, delta = graph.mutate(add=add, remove=remove, update=update)
+    output = args.output or args.graph
+    write_uncertain_graph(
+        mutated, output,
+        header=f"mutated from {args.graph}: "
+        + " ".join(f"{k}={c}" for k, c in delta.summary().items() if c),
+    )
+    counts = delta.summary()
+    print(
+        f"wrote {output}: {mutated.n_nodes} nodes, {mutated.n_edges} edges "
+        f"(+{counts['added']} -{counts['removed']} ~{counts['updated']} edges, "
+        f"revision {graph.revision} -> {mutated.revision})",
+        file=sys.stderr,
+    )
+    if args.world_cache:
+        # Derive against the graph as *re-read* from the written file:
+        # .uel text is the durable identity (probabilities round-trip
+        # through %.10g), so pools must be keyed to what later runs
+        # will parse, not to the in-memory float values.
+        reread = read_uncertain_graph(output, merge=args.merge)
+        store = WorldStore(args.world_cache)
+        result = derive_pool(
+            store, graph, reread,
+            seed=args.seed, backend=args.backend, chunk_size=args.chunk_size,
+        )
+        if result is None or result.worlds_derived == 0:
+            print(
+                f"world cache {args.world_cache}: no parent pool for "
+                f"(seed={args.seed}, backend={args.backend}, chunk={args.chunk_size}) "
+                "- the next run samples cold",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"world cache {args.world_cache}: derived {result.worlds_derived} worlds "
+                f"({result.worlds_repaired} relabeled, "
+                f"{result.columns_resampled} columns resampled"
+                + ("" if result.complete else "; incomplete - remainder samples cold")
+                + ")",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def _cmd_generate(args) -> int:
     graph, complexes = load_dataset(args.dataset, seed=args.seed, scale=args.scale, dblp_authors=args.dblp_authors)
     write_uncertain_graph(graph, args.output, header=f"{args.dataset} (seed={args.seed}, scale={args.scale})")
@@ -317,6 +386,45 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--merge", default="error")
     cluster.add_argument("-o", "--output", default=None, help="write TSV here (default stdout)")
     cluster.set_defaults(func=_cmd_cluster)
+
+    mutate = sub.add_parser(
+        "mutate",
+        help="apply edge mutations to a .uel graph (and migrate cached world pools)",
+    )
+    mutate.add_argument("graph", help="input .uel graph")
+    mutate.add_argument(
+        "--add", action="append", nargs=3, metavar=("U", "V", "P"),
+        help="add edge U-V with probability P (repeatable)",
+    )
+    mutate.add_argument(
+        "--remove", action="append", nargs=2, metavar=("U", "V"),
+        help="remove edge U-V (repeatable)",
+    )
+    mutate.add_argument(
+        "--update", action="append", nargs=3, metavar=("U", "V", "P"),
+        help="set edge U-V's probability to P (repeatable)",
+    )
+    mutate.add_argument(
+        "-o", "--output", default=None,
+        help="write the mutated graph here (default: overwrite the input)",
+    )
+    mutate.add_argument("--merge", default="error", help="duplicate-edge policy")
+    mutate.add_argument(
+        "--world-cache", default=None, metavar="DIR",
+        help="derive the mutated graph's cached world pool from the input "
+        "graph's instead of leaving the next run cold; --seed/--backend/"
+        "--chunk-size must match the run that filled the cache",
+    )
+    mutate.add_argument("--seed", type=int, default=0)
+    mutate.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="auto",
+        help="world-labeling backend of the cached pool",
+    )
+    mutate.add_argument(
+        "--chunk-size", type=int, default=512,
+        help="oracle chunk size of the cached pool",
+    )
+    mutate.set_defaults(func=_cmd_mutate)
 
     generate = sub.add_parser("generate", help="generate a synthetic dataset")
     generate.add_argument("dataset", choices=DATASET_NAMES)

@@ -8,6 +8,18 @@ used by the authors' public code: one edge per line,
 with ``#`` comments and blank lines ignored.  Node tokens are kept as
 strings (labels); a companion convention maps purely numeric files onto
 integer labels.
+
+Node-order directive
+--------------------
+Writers emit ``#% node-order: <label> <label> ...`` lines (plain
+comments to any other parser) pinning the label -> dense-index mapping.
+Without it, node numbering is the first-seen order of the edge list, so
+rewriting a graph with a different edge order silently renumbers the
+nodes — which changes every pool fingerprint and defeats delta
+derivation (:mod:`repro.sampling.deltas`).  With the directive, a
+``repro mutate`` output file re-parses with exactly the numbering the
+mutation produced, keeping cached world pools derivable; it also
+preserves nodes whose last edge was removed.
 """
 
 from __future__ import annotations
@@ -40,6 +52,38 @@ def probability_error(p: float) -> str | None:
     if p == 0.0:
         return "probability-0 edges cannot exist; drop the edge or use a positive probability"
     return None
+
+
+#: Directive prefix for machine-readable metadata inside ``.uel``
+#: comments (currently only ``node-order``).
+_DIRECTIVE_PREFIX = "#%"
+
+#: Labels per ``node-order`` directive line (directives repeat).
+_NODE_ORDER_WRAP = 64
+
+
+def _node_order(lines, *, numeric_labels: bool):
+    """Labels pinned by ``#% node-order:`` directives (``None`` if absent)."""
+    order: list = []
+    for raw in lines:
+        line = raw.strip()
+        if not line.startswith(_DIRECTIVE_PREFIX):
+            continue
+        body = line[len(_DIRECTIVE_PREFIX):].strip()
+        if not body.startswith("node-order:"):
+            continue
+        tokens = body[len("node-order:"):].split()
+        if numeric_labels:
+            try:
+                order.extend(int(token) for token in tokens)
+            except ValueError:
+                raise GraphValidationError(
+                    "node-order directive has non-integer labels "
+                    "(pass numeric_labels=False for string labels)"
+                ) from None
+        else:
+            order.extend(tokens)
+    return order or None
 
 
 def _parse_lines(lines: Iterable[str], *, numeric_labels: bool):
@@ -102,9 +146,16 @@ def read_uncertain_graph(
         (NaN included) or exactly 0, each reported with its line number
         — bad values never silently reach the world sampler.
     """
+    # Two streaming passes: the node-order directive must be known
+    # before ``from_edges`` starts consuming edges, but neither pass
+    # holds the file in memory.
+    with open(path, "r", encoding="utf-8") as handle:
+        order = _node_order(handle, numeric_labels=numeric_labels)
     with open(path, "r", encoding="utf-8") as handle:
         return UncertainGraph.from_edges(
-            _parse_lines(handle, numeric_labels=numeric_labels), merge=merge
+            _parse_lines(handle, numeric_labels=numeric_labels),
+            nodes=order,
+            merge=merge,
         )
 
 
@@ -126,17 +177,29 @@ def parse_uncertain_graph_text(
     >>> parse_uncertain_graph_text("a b 0.5\\nb c 0.25\\n").n_edges
     2
     """
+    lines = text.splitlines()
     return UncertainGraph.from_edges(
-        _parse_lines(text.splitlines(), numeric_labels=numeric_labels), merge=merge
+        _parse_lines(lines, numeric_labels=numeric_labels),
+        nodes=_node_order(lines, numeric_labels=numeric_labels),
+        merge=merge,
     )
 
 
 def write_uncertain_graph(graph: UncertainGraph, path: str | os.PathLike, *, header: str | None = None) -> None:
-    """Write ``graph`` to ``path`` in ``.uel`` format."""
+    """Write ``graph`` to ``path`` in ``.uel`` format.
+
+    Emits ``#% node-order`` directives pinning the node numbering, so
+    re-reading the file reproduces the graph's exact dense indices (and
+    therefore its pool fingerprints) regardless of edge order.
+    """
     with open(path, "w", encoding="utf-8") as handle:
         if header:
             for line in header.splitlines():
                 handle.write(f"# {line}\n")
         handle.write(f"# nodes={graph.n_nodes} edges={graph.n_edges}\n")
+        labels = [str(label) for label in graph.node_labels]
+        for start in range(0, len(labels), _NODE_ORDER_WRAP):
+            chunk = " ".join(labels[start:start + _NODE_ORDER_WRAP])
+            handle.write(f"{_DIRECTIVE_PREFIX} node-order: {chunk}\n")
         for u, v, p in graph.edge_list():
             handle.write(f"{u} {v} {p:.10g}\n")

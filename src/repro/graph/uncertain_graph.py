@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import GraphValidationError
 from repro.graph.components import connected_component_labels, largest_component_indices
+from repro.graph.delta import EdgeOp, GraphDelta
 
 _MERGE_POLICIES = ("error", "max", "noisy-or", "first")
 
@@ -104,6 +105,7 @@ class UncertainGraph:
         "_indptr",
         "_adj_nodes",
         "_adj_edges",
+        "_revision",
     )
 
     def __init__(
@@ -115,6 +117,7 @@ class UncertainGraph:
         node_labels: Sequence[Hashable] | None = None,
         *,
         validate: bool = True,
+        revision: int = 0,
     ):
         src = np.ascontiguousarray(src, dtype=np.intp)
         dst = np.ascontiguousarray(dst, dtype=np.intp)
@@ -133,6 +136,9 @@ class UncertainGraph:
         self._indptr = None
         self._adj_nodes = None
         self._adj_edges = None
+        if revision < 0:
+            raise GraphValidationError(f"revision must be non-negative, got {revision}")
+        self._revision = int(revision)
 
     @staticmethod
     def _validate(n_nodes, src, dst, prob, node_labels) -> None:
@@ -255,6 +261,17 @@ class UncertainGraph:
     def n_nodes(self) -> int:
         """Number of nodes."""
         return self._n
+
+    @property
+    def revision(self) -> int:
+        """Monotone mutation counter (0 for a freshly built graph).
+
+        Every :meth:`mutate` (and its :meth:`add_edge` /
+        :meth:`remove_edge` / :meth:`update_edge` shorthands) returns a
+        *new* graph whose revision is one higher; the original object is
+        never modified, so readers holding it are undisturbed.
+        """
+        return self._revision
 
     @property
     def n_edges(self) -> int:
@@ -419,6 +436,187 @@ class UncertainGraph:
     def expected_edge_count(self) -> float:
         """Expected number of edges in a random possible world."""
         return float(np.sum(self._prob))
+
+    # ------------------------------------------------------------------
+    # Mutation (copy-on-write)
+    # ------------------------------------------------------------------
+
+    def mutate(self, *, add=(), remove=(), update=()) -> tuple["UncertainGraph", GraphDelta]:
+        """Apply edge mutations, returning ``(new_graph, delta)``.
+
+        Copy-on-write: ``self`` is never modified — callers holding the
+        old revision keep reading consistent data.  The new graph's
+        :attr:`revision` is one higher and its edges are stored in
+        canonical sorted order (the order ``from_edges`` produces), so
+        a mutated graph is indistinguishable from cold-building the
+        same edge set — including its sampled-world pool fingerprint.
+
+        Parameters
+        ----------
+        add:
+            ``(u, v, probability)`` triples of new edges (node labels).
+        remove:
+            ``(u, v)`` pairs of edges to delete.
+        update:
+            ``(u, v, probability)`` triples changing an existing edge's
+            probability.
+
+        Raises
+        ------
+        GraphValidationError
+            Unknown labels, self loops, adding an existing edge,
+            removing/updating a missing one, out-of-range
+            probabilities, or two ops touching the same edge.
+
+        Examples
+        --------
+        >>> g = UncertainGraph.from_edges([(0, 1, 0.5), (1, 2, 0.5)])
+        >>> g2, delta = g.mutate(update=[(0, 1, 0.9)], add=[(0, 2, 0.3)])
+        >>> (g.revision, g2.revision, g.n_edges, g2.n_edges)
+        (0, 1, 2, 3)
+        >>> delta.summary()
+        {'added': 1, 'removed': 0, 'updated': 1}
+        """
+        raw_ops = []
+        for u, v, p in add:
+            raw_ops.append(("add", self._mutation_index(u), self._mutation_index(v), p))
+        for u, v in remove:
+            raw_ops.append(("remove", self._mutation_index(u), self._mutation_index(v), None))
+        for u, v, p in update:
+            raw_ops.append(("update", self._mutation_index(u), self._mutation_index(v), p))
+        return self._apply_ops(raw_ops)
+
+    def add_edge(self, u, v, probability) -> tuple["UncertainGraph", GraphDelta]:
+        """Shorthand for ``mutate(add=[(u, v, probability)])``."""
+        return self.mutate(add=[(u, v, probability)])
+
+    def remove_edge(self, u, v) -> tuple["UncertainGraph", GraphDelta]:
+        """Shorthand for ``mutate(remove=[(u, v)])``."""
+        return self.mutate(remove=[(u, v)])
+
+    def update_edge(self, u, v, probability) -> tuple["UncertainGraph", GraphDelta]:
+        """Shorthand for ``mutate(update=[(u, v, probability)])``."""
+        return self.mutate(update=[(u, v, probability)])
+
+    def apply_delta(self, delta: GraphDelta) -> "UncertainGraph":
+        """Replay a :class:`GraphDelta` produced against this revision.
+
+        The delta's ``base_revision`` must match :attr:`revision`
+        (replaying out of order would silently diverge from the
+        recorded history); the result carries ``delta.new_revision``.
+        """
+        if delta.base_revision != self._revision:
+            raise GraphValidationError(
+                f"delta base revision {delta.base_revision} does not match "
+                f"graph revision {self._revision}"
+            )
+        raw_ops = [(op.op, op.u, op.v, op.probability) for op in delta.ops]
+        graph, _ = self._apply_ops(raw_ops, new_revision=delta.new_revision)
+        return graph
+
+    def _mutation_index(self, label) -> int:
+        """``index_of`` with mutation-flavored error reporting."""
+        try:
+            return self.index_of(label)
+        except (KeyError, ValueError, TypeError):
+            raise GraphValidationError(f"cannot mutate: unknown node label {label!r}") from None
+
+    @staticmethod
+    def _checked_probability(p, u: int, v: int) -> float:
+        try:
+            p = float(p)
+        except (TypeError, ValueError):
+            raise GraphValidationError(
+                f"edge ({u}, {v}): probability {p!r} is not a number"
+            ) from None
+        if not np.isfinite(p) or p <= 0.0 or p > 1.0:
+            raise GraphValidationError(
+                f"edge ({u}, {v}): probability {p} must lie in (0, 1]"
+            )
+        return p
+
+    def _apply_ops(self, raw_ops, new_revision: int | None = None):
+        """Shared worker behind :meth:`mutate` and :meth:`apply_delta`."""
+        n, m = self._n, self.n_edges
+        # One O(m) index pass up front; each op is then a dict lookup,
+        # so a k-op mutation is O(m + k) rather than O(k * m) — it runs
+        # under the service registry lock.
+        edge_index = {
+            (int(u), int(v)): i
+            for i, (u, v) in enumerate(zip(self._src.tolist(), self._dst.tolist()))
+        }
+        seen: set[tuple[int, int]] = set()
+        ops: list[EdgeOp] = []
+        removed_idx: list[int] = []
+        updated: list[tuple[int, float]] = []
+        added: list[tuple[int, int, float]] = []
+        for kind, u, v, p in raw_ops:
+            u, v = int(u), int(v)
+            if u == v:
+                raise GraphValidationError(f"self loop at node {u}; uncertain graphs here are simple")
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphValidationError(f"edge endpoints ({u}, {v}) must lie in [0, {n})")
+            lo, hi = (u, v) if u < v else (v, u)
+            if (lo, hi) in seen:
+                raise GraphValidationError(f"edge ({lo}, {hi}) appears in more than one mutation op")
+            seen.add((lo, hi))
+            index = edge_index.get((lo, hi))
+            if kind == "add":
+                if index is not None:
+                    raise GraphValidationError(
+                        f"edge ({lo}, {hi}) already exists; use update to change its probability"
+                    )
+                p = self._checked_probability(p, lo, hi)
+                added.append((lo, hi, p))
+                ops.append(EdgeOp("add", lo, hi, probability=p))
+            elif kind == "remove":
+                if index is None:
+                    raise GraphValidationError(f"no edge ({lo}, {hi}) to remove")
+                removed_idx.append(index)
+                ops.append(EdgeOp("remove", lo, hi, old_probability=float(self._prob[index])))
+            elif kind == "update":
+                if index is None:
+                    raise GraphValidationError(f"no edge ({lo}, {hi}) to update")
+                p = self._checked_probability(p, lo, hi)
+                updated.append((index, p))
+                ops.append(
+                    EdgeOp("update", lo, hi, probability=p,
+                           old_probability=float(self._prob[index]))
+                )
+            else:  # pragma: no cover - callers restrict kinds
+                raise GraphValidationError(f"unknown mutation kind {kind!r}")
+
+        prob = self._prob.copy()
+        for index, p in updated:
+            prob[index] = p
+        keep = np.ones(m, dtype=bool)
+        if removed_idx:
+            keep[removed_idx] = False
+        add_src = np.asarray([a[0] for a in added], dtype=np.intp)
+        add_dst = np.asarray([a[1] for a in added], dtype=np.intp)
+        add_prob = np.asarray([a[2] for a in added], dtype=np.float64)
+        src = np.concatenate([self._src[keep], add_src])
+        dst = np.concatenate([self._dst[keep], add_dst])
+        prob = np.concatenate([prob[keep], add_prob])
+        # Canonical sorted edge order: a mutated graph is bit-identical
+        # (arrays and pool fingerprint) to from_edges on the final edge
+        # set, so delta-derived world pools land under the cold digest.
+        order = np.argsort(src.astype(np.int64) * n + dst, kind="stable")
+        if new_revision is None:
+            new_revision = self._revision + 1
+        graph = UncertainGraph(
+            n,
+            src[order],
+            dst[order],
+            prob[order],
+            node_labels=self._labels,
+            validate=False,
+            revision=new_revision,
+        )
+        delta = GraphDelta(
+            base_revision=self._revision, new_revision=new_revision, ops=tuple(ops)
+        )
+        return graph, delta
 
     def to_networkx(self, prob_attr: str = "prob"):
         """Export to a :class:`networkx.Graph` with probability attributes."""

@@ -10,19 +10,23 @@ from repro.sampling.backends import (
 from repro.sampling.parallel import (
     DEFAULT_SHARD_WORLDS,
     ParallelSampler,
+    edge_seed_sequence,
     ensure_seed_sequence,
     resolve_workers,
-    sample_shard_masks,
+    sample_edge_column,
+    sample_mask_rows,
     shard_plan,
-    shard_seed_sequence,
 )
 from repro.sampling.store import (
     WorldStore,
+    pack_mask_columns,
     pack_masks,
     packed_words,
     pool_fingerprint,
+    unpack_mask_columns,
     unpack_masks,
 )
+from repro.sampling.deltas import DeriveResult, derive_pool, diff_edges
 from repro.sampling.worlds import (
     sample_edge_masks,
     world_component_labels,
@@ -47,19 +51,25 @@ from repro.sampling.representative import (
 __all__ = [
     "BACKEND_NAMES",
     "DEFAULT_SHARD_WORLDS",
+    "DeriveResult",
     "ParallelSampler",
+    "derive_pool",
+    "diff_edges",
+    "edge_seed_sequence",
     "ensure_seed_sequence",
     "resolve_workers",
-    "sample_shard_masks",
+    "sample_edge_column",
+    "sample_mask_rows",
     "shard_plan",
-    "shard_seed_sequence",
     "ScipyWorldBackend",
     "UnionFindWorldBackend",
     "WorldBackend",
     "WorldStore",
+    "pack_mask_columns",
     "pack_masks",
     "packed_words",
     "pool_fingerprint",
+    "unpack_mask_columns",
     "unpack_masks",
     "resolve_backend",
     "average_degree_representative",

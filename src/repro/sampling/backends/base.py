@@ -17,6 +17,24 @@ this makes every downstream quantity — ``connection_to_all``,
 ``pairwise_matrix``, MCP/ACP clusterings — bit-identical across
 backends for a fixed seed.  The cross-backend equivalence suite in
 ``tests/test_backends.py`` pins this contract.
+
+Incremental relabeling (optional)
+---------------------------------
+Backends *may* additionally implement ``repair_labels(graph, masks,
+old_labels, affected) -> labels`` — the delta-derivation fast path
+(:mod:`repro.sampling.deltas`).  ``masks`` are the post-delta edge
+masks of the worlds needing repair, ``old_labels`` their pre-delta
+canonical labels, and ``affected`` an ``(r, n)`` boolean matrix marking
+every node whose pre-delta component contains an endpoint of a flipped
+edge.  The contract: the result must be **bit-identical** to
+``component_labels(graph, masks)`` — incrementality is an optimization,
+never a different answer.  The caller guarantees that no post-delta
+present edge joins an affected node to an unaffected one (flipped
+edges' endpoints are affected by construction, and unflipped present
+edges connect nodes of one pre-delta component, which is affected
+either wholly or not at all) — which is what makes component-local
+repair sound.  The method is deliberately *not* part of the runtime
+protocol: custom backends without it simply take the full-relabel path.
 """
 
 from __future__ import annotations

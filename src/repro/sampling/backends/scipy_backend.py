@@ -48,3 +48,20 @@ class ScipyWorldBackend:
         indices = np.arange(total, dtype=np.int64)
         first[flat[::-1]] = indices[::-1]
         return (first[flat] % n).reshape(r, n).astype(np.int32)
+
+    def repair_labels(
+        self,
+        graph: UncertainGraph,
+        masks: np.ndarray,
+        old_labels: np.ndarray,
+        affected: np.ndarray,
+    ) -> np.ndarray:
+        """Relabel the given worlds from scratch (the cross-check path).
+
+        The scipy backend deliberately ignores the repair hints and
+        recomputes every requested world: it is the reference the
+        union-find backend's component-local repair is validated
+        against (``tests/test_deltas.py``), exactly as its
+        ``component_labels`` is the reference for chunk labeling.
+        """
+        return self.component_labels(graph, masks)

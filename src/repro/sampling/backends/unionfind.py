@@ -88,6 +88,47 @@ class UnionFindWorldBackend:
         ]
         return np.concatenate(chunks, axis=0)
 
+    def repair_labels(
+        self,
+        graph: UncertainGraph,
+        masks: np.ndarray,
+        old_labels: np.ndarray,
+        affected: np.ndarray,
+    ) -> np.ndarray:
+        """Component-local union-find repair (the incremental path).
+
+        Instead of relabeling the whole worlds, the union-find runs only
+        over edge instances whose world-local component actually changed:
+        an edge is *allowed* iff it is present in the post-delta mask
+        **and** its endpoint lies in an affected component.  Nodes
+        outside the affected components keep their old labels; affected
+        nodes get fresh canonical min-node labels from the restricted
+        union-find (unaffected nodes come out of it as singletons and
+        are immediately overwritten by their old labels).
+
+        Soundness rests on the caller's guarantee (see
+        :meth:`WorldBackend.repair_labels <repro.sampling.backends.base.WorldBackend.repair_labels>`)
+        that no present post-delta edge crosses the affected/unaffected
+        boundary — so testing one endpoint per edge suffices, and the
+        restricted components equal the full relabeling's components.
+        Pinned bit-identical against the scipy full relabel by
+        ``tests/test_deltas.py``.
+        """
+        masks = validate_masks(graph, masks)
+        r, n = masks.shape[0], graph.n_nodes
+        old_labels = np.ascontiguousarray(old_labels, dtype=np.int32)
+        affected = np.asarray(affected, dtype=bool)
+        if old_labels.shape != (r, n) or affected.shape != (r, n):
+            raise ValueError(
+                f"old_labels and affected must have shape ({r}, {n}), got "
+                f"{old_labels.shape} and {affected.shape}"
+            )
+        if r == 0 or n == 0:
+            return old_labels.copy()
+        allowed = masks & affected[:, graph.edge_src]
+        fresh = self.component_labels(graph, allowed)
+        return np.where(affected, fresh, old_labels)
+
     @staticmethod
     def _label_batch(graph: UncertainGraph, masks: np.ndarray) -> np.ndarray:
         r, n = masks.shape[0], graph.n_nodes

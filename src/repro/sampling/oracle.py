@@ -11,8 +11,9 @@ Storage is chunked.  Each chunk keeps
 
 * the component labels of its worlds — an ``(c, n)`` int32 matrix — for
   unbounded connection queries,
-* the edge masks, bit-packed into ``uint64`` words (1/8 of the boolean
-  bytes; see :mod:`repro.sampling.store`) and unpacked on demand, and
+* the edge masks, bit-packed into edge-major ``uint64`` columns (1/8 of
+  the boolean bytes; see :mod:`repro.sampling.store`) and unpacked on
+  demand, and
 * (lazily) the block-diagonal CSR adjacency for depth-limited queries.
 
 With ``store=`` / ``cache_dir=``, chunks are additionally served from a
@@ -50,7 +51,7 @@ from repro.exceptions import OracleError
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.sampling.backends import WorldBackend, resolve_backend
 from repro.sampling.parallel import ParallelSampler, ensure_seed_sequence
-from repro.sampling.store import WorldStore, pack_masks, unpack_masks
+from repro.sampling.store import WorldStore, pack_mask_columns, unpack_mask_columns
 from repro.sampling.worlds import (
     block_bfs_reached,
     world_block_csr,
@@ -147,7 +148,12 @@ class MonteCarloOracle:
             if store is not None
             else None
         )
-        self._packed_chunks: list[np.ndarray] = []
+        #: Columnar packed-mask blocks; ``None`` marks a chunk served
+        #: from the store whose masks have not been needed yet (labels
+        #: load eagerly, masks lazily — unbounded queries never touch
+        #: them).  ``_chunk_starts`` remembers where such a chunk lives.
+        self._packed_chunks: list[np.ndarray | None] = []
+        self._chunk_starts: list[int] = []
         self._label_chunks: list[np.ndarray] = []
         self._csr_chunks: list[sp.csr_matrix | None] = []
         self._n_samples = 0
@@ -209,8 +215,11 @@ class MonteCarloOracle:
 
     @property
     def packed_mask_nbytes(self) -> int:
-        """Bytes of the in-memory bit-packed mask chunks (1/8 of boolean)."""
-        return sum(chunk.nbytes for chunk in self._packed_chunks)
+        """Bytes of the *materialized* bit-packed mask chunks (1/8 of
+        boolean).  Store-served chunks whose masks were never needed
+        (the unbounded-query warm path) count as 0 until a depth query
+        materializes them."""
+        return sum(chunk.nbytes for chunk in self._packed_chunks if chunk is not None)
 
     def ensure_samples(self, r: int) -> None:
         """Grow the pool to at least ``r`` worlds (never shrinks).
@@ -239,27 +248,31 @@ class MonteCarloOracle:
         while self._n_samples < r:
             start = self._n_samples
             count = min(self._chunk_size, r - start)
-            cached = self._load_cached_chunk(start, count)
-            if cached is not None:
-                packed, labels = cached
-                self._worlds_cached += packed.shape[0]
+            labels = self._load_cached_labels(start, count)
+            if labels is not None:
+                packed = None  # masks stay in the store until a depth query
+                self._worlds_cached += labels.shape[0]
             else:
                 masks, labels = self._sampler.sample_chunk(self._seed_seq, start, count)
-                packed = pack_masks(masks)
+                packed = pack_mask_columns(masks)
                 self._worlds_sampled += count
                 if self._store is not None:
                     self._store.append(self._pool_digest, start, packed, labels)
             self._packed_chunks.append(packed)
+            self._chunk_starts.append(start)
             self._label_chunks.append(labels)
             self._csr_chunks.append(None)
-            self._n_samples += packed.shape[0]
+            self._n_samples += labels.shape[0]
 
-    def _load_cached_chunk(self, start: int, want: int):
-        """Up to ``want`` stored worlds from ``start``, or ``None`` on miss.
+    def _load_cached_labels(self, start: int, want: int):
+        """Labels of up to ``want`` stored worlds from ``start`` (miss: ``None``).
 
-        A pool cleared or truncated by another process between the
-        count and the read is treated as a miss (we fall back to
-        sampling), never as an error — the cache is best effort.
+        Only the labels are read here; the packed mask columns stay in
+        the store and are materialized by :meth:`_masks_chunk` if a
+        depth-limited query ever needs them.  A pool cleared or
+        truncated by another process between the count and the read is
+        treated as a miss (we fall back to sampling), never as an
+        error — the cache is best effort.
         """
         if self._store is None:
             return None
@@ -268,7 +281,7 @@ class MonteCarloOracle:
             if available <= start:
                 return None
             take = min(want, available - start)
-            return self._store.read(self._pool_digest, start, start + take)
+            return self._store.read_labels(self._pool_digest, start, start + take)
         except (OSError, ValueError, OracleError):
             return None
 
@@ -296,8 +309,25 @@ class MonteCarloOracle:
         return np.concatenate(self._label_chunks, axis=0)
 
     def _masks_chunk(self, index: int) -> np.ndarray:
-        """Boolean edge masks of chunk ``index``, unpacked on demand."""
-        return unpack_masks(self._packed_chunks[index], self._graph.n_edges)
+        """Boolean edge masks of chunk ``index``, unpacked on demand.
+
+        A chunk served from the store loads its packed columns here on
+        first touch.  Should the stored pool have been cleared in the
+        meantime, the chunk is resampled instead — masks are pure
+        functions of ``(seed, start, count)``, so the result is
+        bit-identical either way.
+        """
+        packed = self._packed_chunks[index]
+        rows = self._label_chunks[index].shape[0]
+        if packed is None:
+            start = self._chunk_starts[index]
+            try:
+                packed, _labels = self._store.read(self._pool_digest, start, start + rows)
+            except (OSError, ValueError, OracleError):
+                masks, _labels = self._sampler.sample_chunk(self._seed_seq, start, rows)
+                packed = pack_mask_columns(masks)
+            self._packed_chunks[index] = packed
+        return unpack_mask_columns(packed, rows)
 
     def _csr_chunk(self, index: int) -> sp.csr_matrix:
         block = self._csr_chunks[index]

@@ -1,41 +1,52 @@
-"""Parallel world-sampling engine.
+"""Parallel world-sampling engine with per-edge random streams.
 
 The Monte Carlo pipelines spend nearly all their time drawing and
 labeling possible worlds (paper Section 4), and a chunk of ``r`` worlds
 is embarrassingly parallel: every world is an independent function of
 the edge probabilities and its own random stream.  This module supplies
 the execution layer that exploits that structure without giving up
-reproducibility.
+reproducibility — and, since the delta-aware refactor, without giving
+up *incremental resampling* either.
 
-Sharded random streams
-----------------------
-The pool of worlds is divided into fixed-size *shards* of
-:data:`DEFAULT_SHARD_WORLDS` consecutive worlds.  Shard ``j`` draws its
-edge masks from its own ``numpy`` stream, constructed as
-``SeedSequence(entropy, spawn_key=root.spawn_key + (j,))`` — the same
-derivation :meth:`numpy.random.SeedSequence.spawn` uses, but keyed by
-the shard's *position in the pool* instead of by spawn order.  Rows
-inside a shard are addressed by offset with a single O(1)
-``BitGenerator.advance`` jump.  Consequences:
+Per-edge random streams
+-----------------------
+Every edge ``(u, v)`` (canonical ``u < v``) owns its own ``numpy``
+stream, constructed by explicit spawn key::
 
-* the masks of world ``i`` depend only on the root seed and ``i`` —
-  never on the chunking pattern of ``ensure_samples`` calls, and never
-  on how many workers drew them;
+    SeedSequence(entropy, spawn_key=root.spawn_key + (EDGE_STREAM_TAG, u, v))
+
+World ``i``'s presence bit for the edge consumes exactly one uniform
+double — one 64-bit PCG64 output — at stream position ``i``, reached
+with a single O(1) ``BitGenerator.advance`` jump.  Consequences:
+
+* mask bit ``(i, e)`` depends only on the root seed, the edge's
+  endpoints and ``i`` — never on the chunking pattern of
+  ``ensure_samples`` calls, never on the worker count, never on the
+  edge's *column position*, and never on any other edge;
 * the serial path (``workers=1``) and the process-pool path compute
-  **bit-identical** pools for a fixed seed, because both evaluate the
-  same pure function per shard (pinned by ``tests/test_parallel.py``).
+  **bit-identical** pools for a fixed seed (pinned by
+  ``tests/test_parallel.py``);
+* mutating one edge's probability (or adding/removing an edge) changes
+  only that edge's column: :mod:`repro.sampling.deltas` regenerates the
+  touched columns from the same streams and gets bits identical to
+  cold-sampling the mutated graph — the determinism contract behind
+  delta-aware world invalidation (pinned by ``tests/test_deltas.py``).
 
 Execution
 ---------
-:class:`ParallelSampler` partitions each requested chunk into shard
-tasks and either runs them inline (serial path) or fans them out over a
+:class:`ParallelSampler` partitions each requested chunk into
+fixed-size shard tasks (:data:`DEFAULT_SHARD_WORLDS` consecutive
+worlds, purely a dispatch granularity) and either runs them inline
+(serial path) or fans them out over a
 :class:`concurrent.futures.ProcessPoolExecutor`.  Workers are recreated
 per graph: the pool's initializer receives the (pickled) graph and
-backend name once, so per-task payloads are a few integers.  When the
-pool cannot start or dies mid-flight (sandboxes, missing semaphores,
-OOM-killed children), the sampler falls back to the serial path and
-stays there — parallelism is a throughput optimization, never a
-correctness dependency.
+backend name once, so per-task payloads are a few integers.  Both paths
+memoize the per-edge stream states, so the SeedSequence hashing cost is
+paid once per edge, not once per chunk.  When the pool cannot start or
+dies mid-flight (sandboxes, missing semaphores, OOM-killed children),
+the sampler falls back to the serial path and stays there —
+parallelism is a throughput optimization, never a correctness
+dependency.
 """
 
 from __future__ import annotations
@@ -53,56 +64,146 @@ from repro.utils.rng import ensure_seed_sequence
 
 __all__ = [
     "DEFAULT_SHARD_WORLDS",
+    "EDGE_STREAM_TAG",
     "ParallelSampler",
     "WORKERS_AUTO",
+    "edge_seed_sequence",
+    "edge_stream_state",
     "ensure_seed_sequence",
     "resolve_workers",
-    "validate_workers_spec",
-    "sample_shard_masks",
+    "sample_edge_column",
+    "sample_mask_rows",
     "shard_plan",
-    "shard_seed_sequence",
+    "validate_workers_spec",
 ]
 
-#: Worlds per shard: the unit of random-stream derivation and of
-#: parallel dispatch.  128 worlds amortize process round-trips while
-#: keeping a 512-world default chunk divisible into 4 parallel tasks.
+#: Worlds per shard: the unit of parallel dispatch.  128 worlds
+#: amortize process round-trips while keeping a 512-world default chunk
+#: divisible into 4 parallel tasks.  (Purely an execution knob — the
+#: per-edge streams make pool content independent of it.)
 DEFAULT_SHARD_WORLDS = 128
+
+#: Spawn-key tag separating per-edge mask streams from any other
+#: SeedSequence children a caller might derive from the same root.
+EDGE_STREAM_TAG = 0x65646765  # ascii "edge", fits a uint32 spawn-key word
 
 #: Values accepted wherever a ``workers=`` option is exposed.
 WORKERS_AUTO = "auto"
 
 
-def shard_seed_sequence(root: np.random.SeedSequence, shard: int) -> np.random.SeedSequence:
-    """The stream of shard ``shard`` under root seed ``root``.
+def edge_seed_sequence(root: np.random.SeedSequence, u: int, v: int) -> np.random.SeedSequence:
+    """The mask stream of edge ``(u, v)`` under root seed ``root``.
 
-    Children are constructed by explicit spawn key, so shard ``j``
-    always receives the same stream regardless of the order (or
-    process) in which shards are materialized.
+    Streams are keyed by the edge's canonical endpoints (``u < v`` is
+    enforced here), so an edge keeps its stream across mutations of
+    *other* edges, across column reorderings, and across graphs that
+    merely share the edge.  Position ``i`` of the stream is world
+    ``i``'s uniform draw for the edge.
+
+    Examples
+    --------
+    >>> root = np.random.SeedSequence(7)
+    >>> edge_seed_sequence(root, 2, 5).spawn_key == (EDGE_STREAM_TAG, 2, 5)
+    True
+    >>> edge_seed_sequence(root, 5, 2).spawn_key == (EDGE_STREAM_TAG, 2, 5)
+    True
     """
+    u, v = int(u), int(v)
+    if u > v:
+        u, v = v, u
     return np.random.SeedSequence(
-        entropy=root.entropy, spawn_key=tuple(root.spawn_key) + (int(shard),)
+        entropy=root.entropy, spawn_key=tuple(root.spawn_key) + (EDGE_STREAM_TAG, u, v)
     )
 
 
-def sample_shard_masks(
+def sample_edge_column(
+    root: np.random.SeedSequence,
+    u: int,
+    v: int,
+    probability: float,
+    start: int,
+    count: int,
+    *,
+    state=None,
+) -> np.ndarray:
+    """Presence bits of edge ``(u, v)`` in worlds ``[start, start + count)``.
+
+    Each world consumes exactly one uniform double from the edge's
+    stream, so ``start`` is a single O(1) ``advance`` jump and split
+    draws equal whole draws.  ``state`` optionally supplies the cached
+    position-0 PCG64 state of the edge's stream (see
+    :func:`edge_stream_state`), skipping the SeedSequence hashing.
+
+    The result is a pure function of ``(root, u, v, probability, start,
+    count)`` — in particular it is *independent of the rest of the
+    graph*, which is what lets a graph delta resample only the touched
+    edges' columns, bit-identically to a cold run.
+
+    Examples
+    --------
+    >>> root = np.random.SeedSequence(3)
+    >>> whole = sample_edge_column(root, 0, 1, 0.5, 0, 20)
+    >>> parts = [sample_edge_column(root, 0, 1, 0.5, 0, 8),
+    ...          sample_edge_column(root, 0, 1, 0.5, 8, 12)]
+    >>> bool(np.array_equal(whole, np.concatenate(parts)))
+    True
+    """
+    if start < 0 or count < 0:
+        raise ValueError(f"start and count must be non-negative, got {start}, {count}")
+    bit_generator = np.random.PCG64(0)
+    bit_generator.state = state if state is not None else edge_stream_state(root, u, v)
+    if start:
+        bit_generator.advance(start)
+    return np.random.Generator(bit_generator).random(count) < float(probability)
+
+
+def edge_stream_state(root: np.random.SeedSequence, u: int, v: int):
+    """Position-0 PCG64 state of edge ``(u, v)``'s stream (cacheable)."""
+    return np.random.PCG64(edge_seed_sequence(root, u, v)).state
+
+
+def sample_mask_rows(
+    edge_src: np.ndarray,
+    edge_dst: np.ndarray,
     edge_prob: np.ndarray,
     root: np.random.SeedSequence,
-    shard: int,
-    offset: int,
+    start: int,
     rows: int,
+    state_cache: dict | None = None,
 ) -> np.ndarray:
-    """Rows ``[offset, offset + rows)`` of shard ``shard``'s mask block.
+    """Edge masks of pool worlds ``[start, start + rows)``.
 
-    Each mask row consumes exactly ``m`` uniform doubles — one 64-bit
-    PCG64 output per edge — so a row offset is a single O(1)
-    ``advance(offset * m)`` jump.  ``tests/test_parallel.py`` pins that
-    split draws equal whole draws.
+    Returns a ``(rows, m)`` boolean matrix assembled column by column
+    from the per-edge streams.  ``state_cache`` (an ``{(u, v): state}``
+    dict) memoizes each edge's stream state across calls, so repeated
+    chunks pay the SeedSequence hashing once per edge.
+
+    Examples
+    --------
+    >>> src, dst = np.array([0, 1]), np.array([1, 2])
+    >>> masks = sample_mask_rows(src, dst, np.array([0.5, 0.5]),
+    ...                          np.random.SeedSequence(1), 0, 10)
+    >>> masks.shape
+    (10, 2)
     """
+    if start < 0 or rows < 0:
+        raise ValueError(f"start and rows must be non-negative, got {start}, {rows}")
     edge_prob = np.asarray(edge_prob, dtype=np.float64)
-    rng = np.random.default_rng(shard_seed_sequence(root, shard))
-    if offset:
-        rng.bit_generator.advance(offset * len(edge_prob))
-    return rng.random((rows, len(edge_prob))) < edge_prob
+    m = len(edge_prob)
+    masks = np.empty((rows, m), dtype=bool)
+    bit_generator = np.random.PCG64(0)
+    for j in range(m):
+        key = (int(edge_src[j]), int(edge_dst[j]))
+        state = state_cache.get(key) if state_cache is not None else None
+        if state is None:
+            state = edge_stream_state(root, *key)
+            if state_cache is not None:
+                state_cache[key] = state
+        bit_generator.state = state
+        if start:
+            bit_generator.advance(start)
+        masks[:, j] = np.random.Generator(bit_generator).random(rows) < edge_prob[j]
+    return masks
 
 
 def shard_plan(
@@ -111,7 +212,8 @@ def shard_plan(
     """Split pool worlds ``[start, start + count)`` into shard tasks.
 
     Returns ``(shard, offset, rows)`` triples aligned to the absolute
-    shard grid, in pool order.
+    shard grid, in pool order.  Shards are the unit of parallel
+    dispatch; the per-edge streams make the output independent of them.
 
     Examples
     --------
@@ -193,22 +295,41 @@ def resolve_workers(
 
 # ----------------------------------------------------------------------
 # Worker-process side.  State is installed once per pool (the graph and
-# backend travel through the initializer, not with every task).
+# backend travel through the initializer, not with every task); the
+# per-edge stream states are memoized per worker process and reset when
+# a task arrives under a different root seed.
 # ----------------------------------------------------------------------
 
 _worker_graph: UncertainGraph | None = None
 _worker_backend: WorldBackend | None = None
+_worker_states: dict | None = None
+_worker_states_root: tuple | None = None
 
 
 def _init_worker(graph: UncertainGraph, backend_name: str) -> None:
-    global _worker_graph, _worker_backend
+    global _worker_graph, _worker_backend, _worker_states, _worker_states_root
     _worker_graph = graph
     _worker_backend = BACKENDS[backend_name]()
+    _worker_states = {}
+    _worker_states_root = None
 
 
 def _run_shard_task(args):
-    root, shard, offset, rows = args
-    masks = sample_shard_masks(_worker_graph.edge_prob, root, shard, offset, rows)
+    global _worker_states, _worker_states_root
+    root, start, rows = args
+    root_key = (root.entropy, tuple(root.spawn_key))
+    if root_key != _worker_states_root:
+        _worker_states = {}
+        _worker_states_root = root_key
+    masks = sample_mask_rows(
+        _worker_graph.edge_src,
+        _worker_graph.edge_dst,
+        _worker_graph.edge_prob,
+        root,
+        start,
+        rows,
+        state_cache=_worker_states,
+    )
     return masks, _worker_backend.component_labels(_worker_graph, masks)
 
 
@@ -232,7 +353,7 @@ class ParallelSampler:
         The owning oracle's chunk size; only used by the ``"auto"``
         worker heuristic.
     shard_worlds:
-        Shard granularity; the default is almost always right.
+        Dispatch granularity; the default is almost always right.
 
     Examples
     --------
@@ -262,6 +383,8 @@ class ParallelSampler:
         )
         self._pool: ProcessPoolExecutor | None = None
         self._pool_broken = False
+        self._edge_states: dict = {}
+        self._edge_states_root: tuple | None = None
 
     @property
     def backend(self) -> WorldBackend:
@@ -336,7 +459,10 @@ class ParallelSampler:
                     parts = list(
                         pool.map(
                             _run_shard_task,
-                            [(root, shard, offset, rows) for shard, offset, rows in tasks],
+                            [
+                                (root, shard * self._shard_worlds + offset, rows)
+                                for shard, offset, rows in tasks
+                            ],
                         )
                     )
                     masks = np.concatenate([part[0] for part in parts], axis=0)
@@ -344,20 +470,22 @@ class ParallelSampler:
                     return masks, labels
                 except Exception as error:
                     self._mark_broken(error)
-        return self._sample_serial(root, tasks, count)
+        return self._sample_serial(root, start, count)
 
-    def _sample_serial(self, root, tasks, count) -> tuple[np.ndarray, np.ndarray]:
-        edge_prob = self._graph.edge_prob
-        if tasks:
-            masks = np.concatenate(
-                [
-                    sample_shard_masks(edge_prob, root, shard, offset, rows)
-                    for shard, offset, rows in tasks
-                ],
-                axis=0,
-            )
-        else:
-            masks = np.zeros((0, len(edge_prob)), dtype=bool)
+    def _sample_serial(self, root, start, count) -> tuple[np.ndarray, np.ndarray]:
+        root_key = (root.entropy, tuple(root.spawn_key))
+        if root_key != self._edge_states_root:
+            self._edge_states = {}
+            self._edge_states_root = root_key
+        masks = sample_mask_rows(
+            self._graph.edge_src,
+            self._graph.edge_dst,
+            self._graph.edge_prob,
+            root,
+            start,
+            count,
+            state_cache=self._edge_states,
+        )
         # One labeling call per chunk, so instrumented backends observe
         # exactly the progressive-sampling growth steps.
         return masks, self._backend.component_labels(self._graph, masks)

@@ -2,17 +2,24 @@
 
 Monte Carlo world sampling dominates the running time of both MCP and
 ACP (paper Section 4), yet the sampled pool is a pure function of
-``(graph, seed, backend)``: world ``i``'s edge mask depends only on the
-root seed and ``i`` (sharded streams, :mod:`repro.sampling.parallel`),
-and the canonical labels depend only on the mask.  This module exploits
-that purity twice:
+``(graph, seed, backend)``: mask bit ``(i, e)`` depends only on the
+root seed, edge ``e``'s endpoints and ``i`` (per-edge streams,
+:mod:`repro.sampling.parallel`), and the canonical labels depend only
+on the masks.  This module exploits that purity three ways:
 
-Bit packing
-    A chunk of ``(r, m)`` boolean edge masks is stored as ``(r, w)``
-    ``uint64`` words (``w = ceil(m / 64)``) — an 8x memory cut over
-    numpy's byte-per-bool layout.  Masks are unpacked on demand, only
-    where a consumer genuinely needs booleans (e.g. building the
-    block-diagonal CSR for depth-limited queries).
+Bit packing, edge-major
+    A block of ``(r, m)`` boolean edge masks is stored *columnar*: an
+    ``(m, w)`` ``uint64`` matrix with ``w = packed_words(r)`` — row
+    ``e`` is edge ``e``'s presence bitset over the block's worlds.
+    That is still the 8x memory cut over numpy's byte-per-bool layout,
+    but now one edge's bits are one contiguous row: a graph delta that
+    touches ``t`` edges rewrites ``t`` rows and leaves the other
+    ``m - t`` untouched (:mod:`repro.sampling.deltas`).  Masks are
+    unpacked on demand, only where a consumer genuinely needs booleans
+    (e.g. building the block-diagonal CSR for depth-limited queries).
+    Padding is per edge per *block* (≤ 7 bytes each), so pools grown in
+    many small progressive steps carry more padding than pools written
+    in whole chunks — a deliberate trade for append-only blocks.
 
 Content addressing
     Pools are keyed by a SHA-256 digest of the graph's edge endpoints
@@ -22,10 +29,20 @@ Content addressing
     *invalidation contract*, pinned by ``tests/test_store.py`` and
     documented in ``docs/ARCHITECTURE.md``.
 
+Delta derivation
+    Because a mutated graph's fingerprint equals the fingerprint of
+    cold-building its final edge set, a pool for the mutated graph can
+    be *derived* from the parent pool — resampling only the touched
+    columns, repairing only the affected labels — and registered under
+    the digest the cold path would use (:func:`repro.sampling.deltas
+    .derive_pool`).  Derived and cold pools are bit-identical.
+
 :class:`WorldStore` holds one growing pool per digest, either purely in
 memory or spilled to a disk directory (one subdirectory per digest with
-raw ``numpy`` files read back through :class:`numpy.memmap`).  Because
-cached and freshly drawn worlds are bit-identical, a
+raw ``numpy`` files read back through :class:`numpy.memmap`).  Pools
+grow in *blocks* (one per append; ``meta.json`` records the block world
+counts, since columnar packing makes block boundaries part of the
+layout).  Because cached and freshly drawn worlds are bit-identical, a
 :class:`~repro.sampling.oracle.MonteCarloOracle` can resume progressive
 sampling from a cached pool mid-schedule and extend it in place.
 
@@ -66,9 +83,11 @@ from repro.utils.rng import ensure_seed_sequence
 
 __all__ = [
     "WorldStore",
+    "pack_mask_columns",
     "pack_masks",
     "packed_words",
     "pool_fingerprint",
+    "unpack_mask_columns",
     "unpack_masks",
 ]
 
@@ -76,8 +95,9 @@ __all__ = [
 WORD_BITS = 64
 
 #: On-disk format version; bumped on any layout change so old cache
-#: directories are treated as misses rather than misread.
-FORMAT_VERSION = 1
+#: directories are treated as misses rather than misread.  Version 2 is
+#: the edge-major columnar layout (v1 row-major pools are discarded).
+FORMAT_VERSION = 2
 
 _META_NAME = "meta.json"
 _MASKS_NAME = "masks.u64"
@@ -104,25 +124,53 @@ def _pool_write_lock(directory: Path):
             fcntl.flock(handle, fcntl.LOCK_UN)
 
 
-def packed_words(n_edges: int) -> int:
-    """Number of ``uint64`` words needed to hold ``n_edges`` mask bits.
+def packed_words(n_bits: int) -> int:
+    """Number of ``uint64`` words needed to hold ``n_bits`` mask bits.
 
     Examples
     --------
     >>> packed_words(0), packed_words(1), packed_words(64), packed_words(65)
     (0, 1, 1, 2)
     """
-    if n_edges < 0:
-        raise ValueError(f"n_edges must be non-negative, got {n_edges}")
-    return (int(n_edges) + WORD_BITS - 1) // WORD_BITS
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be non-negative, got {n_bits}")
+    return (int(n_bits) + WORD_BITS - 1) // WORD_BITS
+
+
+def _pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a 2-D boolean matrix along axis 1 into whole uint64 words."""
+    rows, n = bits.shape
+    words = packed_words(n)
+    packed_bytes = np.packbits(bits, axis=1, bitorder="little")
+    row_bytes = words * (WORD_BITS // 8)
+    if packed_bytes.shape[1] != row_bytes:
+        padded = np.zeros((rows, row_bytes), dtype=np.uint8)
+        padded[:, : packed_bytes.shape[1]] = packed_bytes
+        packed_bytes = padded
+    return np.ascontiguousarray(packed_bytes).view(np.uint64)
+
+
+def _unpack_bits(packed: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`_pack_bits` (drops the pad bits)."""
+    if packed.shape[1] != packed_words(n_bits):
+        raise ValueError(
+            f"packed rows hold {packed.shape[1]} words but {n_bits} bits "
+            f"need {packed_words(n_bits)}"
+        )
+    if n_bits == 0:
+        return np.zeros((packed.shape[0], 0), dtype=bool)
+    bits = np.unpackbits(packed.view(np.uint8), axis=1, count=n_bits, bitorder="little")
+    return bits.view(np.bool_)
 
 
 def pack_masks(masks: np.ndarray) -> np.ndarray:
-    """Pack boolean edge masks into ``uint64`` bitset rows.
+    """Pack boolean edge masks into world-major ``uint64`` bitset rows.
 
-    The result has shape ``(r, packed_words(m))`` and uses 1/8 of the
-    mask bytes (plus at most 7 bytes of padding per row).  Bit ``j`` of
-    row ``i`` — little-endian within each word — is ``masks[i, j]``.
+    The result has shape ``(r, packed_words(m))``: row ``i`` is world
+    ``i``'s edge bitset.  Bit ``j`` of row ``i`` — little-endian within
+    each word — is ``masks[i, j]``.  The store itself keeps the
+    *columnar* layout (:func:`pack_mask_columns`); this row-major
+    variant remains for world-at-a-time consumers.
 
     Examples
     --------
@@ -136,19 +184,11 @@ def pack_masks(masks: np.ndarray) -> np.ndarray:
     masks = np.ascontiguousarray(masks, dtype=bool)
     if masks.ndim != 2:
         raise ValueError(f"masks must be 2-D (worlds, edges), got shape {masks.shape}")
-    r, m = masks.shape
-    words = packed_words(m)
-    packed_bytes = np.packbits(masks, axis=1, bitorder="little")
-    row_bytes = words * (WORD_BITS // 8)
-    if packed_bytes.shape[1] != row_bytes:
-        padded = np.zeros((r, row_bytes), dtype=np.uint8)
-        padded[:, : packed_bytes.shape[1]] = packed_bytes
-        packed_bytes = padded
-    return np.ascontiguousarray(packed_bytes).view(np.uint64)
+    return _pack_bits(masks)
 
 
 def unpack_masks(packed: np.ndarray, n_edges: int) -> np.ndarray:
-    """Unpack ``uint64`` bitset rows back into boolean edge masks.
+    """Unpack world-major ``uint64`` bitset rows back into boolean masks.
 
     Inverse of :func:`pack_masks`: returns a ``(r, n_edges)`` boolean
     array.  ``packed`` may be any array-like (including a
@@ -157,15 +197,50 @@ def unpack_masks(packed: np.ndarray, n_edges: int) -> np.ndarray:
     packed = np.ascontiguousarray(packed, dtype=np.uint64)
     if packed.ndim != 2:
         raise ValueError(f"packed masks must be 2-D, got shape {packed.shape}")
-    words = packed_words(n_edges)
-    if packed.shape[1] != words:
-        raise ValueError(
-            f"packed rows hold {packed.shape[1]} words but {n_edges} edges need {words}"
-        )
-    if n_edges == 0:
-        return np.zeros((packed.shape[0], 0), dtype=bool)
-    bits = np.unpackbits(packed.view(np.uint8), axis=1, count=n_edges, bitorder="little")
-    return bits.view(np.bool_)
+    return _unpack_bits(packed, n_edges)
+
+
+def pack_mask_columns(masks: np.ndarray) -> np.ndarray:
+    """Pack boolean edge masks into the store's edge-major columnar form.
+
+    The result has shape ``(m, packed_words(r))``: row ``e`` is edge
+    ``e``'s presence bitset over the ``r`` worlds (bit ``i`` of row
+    ``e`` is ``masks[i, e]``, little-endian within each word).  Same 8x
+    memory cut as :func:`pack_masks`, but one edge's bits are one
+    contiguous row — the property delta application relies on.
+
+    Examples
+    --------
+    >>> masks = np.array([[True, False, True], [False, True, False]])
+    >>> cols = pack_mask_columns(masks)
+    >>> cols.shape, cols.dtype.name
+    ((3, 1), 'uint64')
+    >>> bool(np.array_equal(unpack_mask_columns(cols, 2), masks))
+    True
+    """
+    masks = np.ascontiguousarray(masks, dtype=bool)
+    if masks.ndim != 2:
+        raise ValueError(f"masks must be 2-D (worlds, edges), got shape {masks.shape}")
+    return _pack_bits(np.ascontiguousarray(masks.T))
+
+
+def unpack_mask_columns(packed_cols: np.ndarray, n_worlds: int) -> np.ndarray:
+    """Unpack columnar masks back into a world-major boolean matrix.
+
+    Inverse of :func:`pack_mask_columns`: returns ``(n_worlds, m)``
+    booleans from an ``(m, packed_words(n_worlds))`` word matrix.
+    """
+    packed_cols = np.ascontiguousarray(packed_cols, dtype=np.uint64)
+    if packed_cols.ndim != 2:
+        raise ValueError(f"packed columns must be 2-D, got shape {packed_cols.shape}")
+    if packed_cols.shape[0] == 0:
+        if packed_cols.shape[1] != packed_words(n_worlds):
+            raise ValueError(
+                f"packed columns hold {packed_cols.shape[1]} words but "
+                f"{n_worlds} worlds need {packed_words(n_worlds)}"
+            )
+        return np.zeros((n_worlds, 0), dtype=bool)
+    return np.ascontiguousarray(_unpack_bits(packed_cols, n_worlds).T)
 
 
 def pool_fingerprint(graph: UncertainGraph, seed, backend_name: str, chunk_size: int) -> str:
@@ -179,6 +254,12 @@ def pool_fingerprint(graph: UncertainGraph, seed, backend_name: str, chunk_size:
     different digest, so a cached pool can never be served for changed
     inputs.  (Chunk size does not actually change the sampled worlds —
     including it is deliberate conservatism, not a correctness need.)
+
+    Because :meth:`UncertainGraph.mutate` stores edges in the canonical
+    sorted order ``from_edges`` produces, a mutated graph fingerprints
+    identically to cold-building its final edge set — which is what
+    lets :func:`repro.sampling.deltas.derive_pool` register a derived
+    pool under the digest the cold path would look up.
 
     Examples
     --------
@@ -211,7 +292,7 @@ class PoolInfo:
     n_worlds: int
     n_nodes: int
     n_edges: int
-    words: int
+    n_blocks: int
     mask_bytes: int
     label_bytes: int
     persistent: bool
@@ -219,8 +300,20 @@ class PoolInfo:
     chunk_size: int = 0
 
 
+def _mask_block_bytes(n_edges: int, block_counts) -> int:
+    return sum(int(n_edges) * packed_words(int(c)) * 8 for c in block_counts)
+
+
+def _coerce_block_counts(value, n_worlds: int):
+    """Validate a meta ``block_counts`` list against ``n_worlds``."""
+    counts = [int(c) for c in value]
+    if any(c <= 0 for c in counts) or sum(counts) != int(n_worlds):
+        raise ValueError(f"block_counts {counts} do not sum to {n_worlds}")
+    return counts
+
+
 class _MemoryPool:
-    """In-memory pool: growing lists of packed-mask and label blocks."""
+    """In-memory pool: growing lists of columnar-mask and label blocks."""
 
     def __init__(self, meta: dict):
         self.meta = meta
@@ -228,39 +321,57 @@ class _MemoryPool:
         self.label_parts: list[np.ndarray] = []
         self.count = 0
 
+    @property
+    def block_counts(self) -> list[int]:
+        return [part.shape[0] for part in self.label_parts]
+
     def read(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
-        # Slice only the parts the range touches: a warm oracle reads
-        # chunk by chunk, and rebuilding the whole pool per read would
-        # make warming quadratic in pool size.
-        packed_slices, label_slices = [], []
+        # Serve block-aligned ranges (the oracle's warm path reads the
+        # pool back chunk by chunk) as stored views — parts are
+        # append-only and treated as immutable, so no copy is needed.
+        if start == stop:
+            return _empty_cols(self.meta), _empty_labels(self.meta)
         offset = 0
-        for packed, labels in zip(self.packed_parts, self.label_parts):
-            rows = packed.shape[0]
+        bool_slices, label_slices = [], []
+        for packed_cols, labels in zip(self.packed_parts, self.label_parts):
+            rows = labels.shape[0]
             lo = max(start - offset, 0)
             hi = min(stop - offset, rows)
             if lo < hi:
-                packed_slices.append(packed[lo:hi])
+                if lo == 0 and hi == rows and start == offset and stop == offset + rows:
+                    return packed_cols, labels
+                bool_slices.append(unpack_mask_columns(packed_cols, rows)[lo:hi])
                 label_slices.append(labels[lo:hi])
             offset += rows
             if offset >= stop:
                 break
-        if not packed_slices:
-            return _empty_packed(self.meta), _empty_labels(self.meta)
-        if len(packed_slices) == 1:
-            # The common case — oracle reads are chunk-aligned, so the
-            # range falls inside one stored part.  Return views instead
-            # of copies: warm oracles treat pool rows as immutable, and
-            # copying would make every warm request pay O(pool bytes).
-            return packed_slices[0], label_slices[0]
-        return (
-            np.concatenate(packed_slices, axis=0),
-            np.concatenate(label_slices, axis=0),
-        )
+        masks = np.concatenate(bool_slices, axis=0)
+        return pack_mask_columns(masks), np.concatenate(label_slices, axis=0)
 
-    def append(self, packed: np.ndarray, labels: np.ndarray) -> None:
-        self.packed_parts.append(np.ascontiguousarray(packed, dtype=np.uint64))
+    def read_labels(self, start: int, stop: int) -> np.ndarray:
+        label_slices = []
+        offset = 0
+        for labels in self.label_parts:
+            rows = labels.shape[0]
+            lo = max(start - offset, 0)
+            hi = min(stop - offset, rows)
+            if lo < hi:
+                if lo == 0 and hi == rows and start == offset and stop == offset + rows:
+                    return labels
+                label_slices.append(labels[lo:hi])
+            offset += rows
+            if offset >= stop:
+                break
+        if not label_slices:
+            return _empty_labels(self.meta)
+        return np.concatenate(label_slices, axis=0)
+
+    def append(self, packed_cols: np.ndarray, labels: np.ndarray) -> None:
+        self.packed_parts.append(np.ascontiguousarray(packed_cols, dtype=np.uint64))
         self.label_parts.append(np.ascontiguousarray(labels, dtype=np.int32))
-        self.count += packed.shape[0]
+        self.count += labels.shape[0]
+        self.meta["n_worlds"] = self.count
+        self.meta["block_counts"] = self.block_counts
 
     def nbytes(self) -> tuple[int, int]:
         return (
@@ -270,10 +381,12 @@ class _MemoryPool:
 
 
 class _DiskPool:
-    """Disk-backed pool: raw append-only files + an atomic meta record.
+    """Disk-backed pool: append-only block files + an atomic meta record.
 
-    Data rows are appended to ``masks.u64`` / ``labels.i32`` first and
-    the world count in ``meta.json`` is updated (atomically, via
+    ``masks.u64`` holds the columnar blocks back to back (block ``b``
+    occupies ``n_edges * packed_words(block_counts[b])`` words);
+    ``labels.i32`` holds world-major label rows.  Data is appended
+    first and the block list in ``meta.json`` updated (atomically, via
     ``os.replace``) last, so a torn append leaves trailing garbage that
     no reader ever addresses.
     """
@@ -282,6 +395,7 @@ class _DiskPool:
         self.directory = directory
         self.meta = meta
         self.count = int(meta.get("n_worlds", 0))
+        self.block_counts = list(meta.get("block_counts", []))
 
     @property
     def masks_path(self) -> Path:
@@ -291,19 +405,23 @@ class _DiskPool:
     def labels_path(self) -> Path:
         return self.directory / _LABELS_NAME
 
-    def _row_bytes(self) -> tuple[int, int]:
-        return int(self.meta["words"]) * 8, int(self.meta["n_nodes"]) * 4
+    def _implied_bytes(self, count: int, block_counts) -> tuple[int, int]:
+        return (
+            _mask_block_bytes(int(self.meta["n_edges"]), block_counts),
+            count * int(self.meta["n_nodes"]) * 4,
+        )
 
     def refresh(self, truncate: bool = False) -> None:
         """Adopt the on-disk world count (another process may have grown
         or cleared the pool since we registered).  With ``truncate=True``
         — callers must hold the pool write lock — also restore the
-        file-rows == world-indices invariant by truncating any trailing
+        file-bytes == block-layout invariant by truncating any trailing
         bytes a torn append left behind (never safe from the read path:
         a concurrent writer's fresh rows look like trailing garbage
         until its meta lands).  Unsound state resets the count to 0 —
         re-sampling, never wrong worlds."""
         count = 0
+        block_counts: list[int] = []
         try:
             with open(self.directory / _META_NAME, encoding="utf-8") as handle:
                 disk = json.load(handle)
@@ -313,64 +431,97 @@ class _DiskPool:
                 and int(disk["n_worlds"]) >= 0
             ):
                 count = int(disk["n_worlds"])
+                block_counts = _coerce_block_counts(disk.get("block_counts", []), count)
         except (OSError, ValueError, KeyError, TypeError):
-            count = 0
-        mask_row, label_row = self._row_bytes()
-        for path, row_bytes in ((self.masks_path, mask_row), (self.labels_path, label_row)):
-            if not row_bytes:
-                continue
+            count, block_counts = 0, []
+        mask_bytes, label_bytes = self._implied_bytes(count, block_counts)
+        for path, implied in ((self.masks_path, mask_bytes), (self.labels_path, label_bytes)):
             size = path.stat().st_size if path.exists() else 0
-            if size < count * row_bytes:
-                count = 0  # data cannot back the recorded count: reset
+            if size < implied:
+                count, block_counts = 0, []  # data cannot back the meta: reset
+                mask_bytes, label_bytes = self._implied_bytes(0, [])
+                break
         if truncate:
-            for path, row_bytes in ((self.masks_path, mask_row), (self.labels_path, label_row)):
-                if row_bytes and path.exists() and path.stat().st_size > count * row_bytes:
-                    os.truncate(path, count * row_bytes)
+            for path, implied in ((self.masks_path, mask_bytes), (self.labels_path, label_bytes)):
+                if path.exists() and path.stat().st_size > implied:
+                    os.truncate(path, implied)
         self.count = count
+        self.block_counts = block_counts
         self.meta["n_worlds"] = count
+        self.meta["block_counts"] = block_counts
 
-    def read(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
-        words = int(self.meta["words"])
+    def read_labels(self, start: int, stop: int) -> np.ndarray:
         n = int(self.meta["n_nodes"])
-        if words:
-            masks_map = np.memmap(
-                self.masks_path, dtype=np.uint64, mode="r", shape=(self.count, words)
-            )
-            packed = np.array(masks_map[start:stop])
-            del masks_map
-        else:
-            packed = np.zeros((stop - start, 0), dtype=np.uint64)
         labels_map = np.memmap(
             self.labels_path, dtype=np.int32, mode="r", shape=(self.count, n)
         )
         labels = np.array(labels_map[start:stop])
         del labels_map
-        return packed, labels
+        return labels
 
-    def append(self, packed: np.ndarray, labels: np.ndarray) -> None:
-        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+    def read(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        n_edges = int(self.meta["n_edges"])
+        labels = self.read_labels(start, stop)
+        if start == stop:
+            return _empty_cols(self.meta), labels
+        if n_edges == 0:
+            return np.zeros((0, packed_words(stop - start)), dtype=np.uint64), labels
+        masks_map = np.memmap(self.masks_path, dtype=np.uint64, mode="r")
+        try:
+            offset_words = 0
+            bool_slices = []
+            block_start = 0
+            for rows in self.block_counts:
+                words = packed_words(rows)
+                lo = max(start - block_start, 0)
+                hi = min(stop - block_start, rows)
+                if lo < hi:
+                    block = np.array(
+                        masks_map[offset_words: offset_words + n_edges * words]
+                    ).reshape(n_edges, words)
+                    if lo == 0 and hi == rows and start == block_start and stop == block_start + rows:
+                        return block, labels
+                    bool_slices.append(unpack_mask_columns(block, rows)[lo:hi])
+                offset_words += n_edges * words
+                block_start += rows
+                if block_start >= stop:
+                    break
+            masks = np.concatenate(bool_slices, axis=0)
+            return pack_mask_columns(masks), labels
+        finally:
+            del masks_map
+
+    def append(self, packed_cols: np.ndarray, labels: np.ndarray) -> None:
+        packed_cols = np.ascontiguousarray(packed_cols, dtype=np.uint64)
         labels = np.ascontiguousarray(labels, dtype=np.int32)
-        if packed.shape[1]:
+        if packed_cols.shape[0]:
             with open(self.masks_path, "ab") as handle:
-                handle.write(packed.tobytes())
+                handle.write(packed_cols.tobytes())
         with open(self.labels_path, "ab") as handle:
             handle.write(labels.tobytes())
-        self.count += packed.shape[0]
+        self.count += labels.shape[0]
+        self.block_counts.append(int(labels.shape[0]))
         self.meta["n_worlds"] = self.count
+        self.meta["block_counts"] = list(self.block_counts)
         _write_meta(self.directory, self.meta)
 
     def nbytes(self) -> tuple[int, int]:
-        words = int(self.meta["words"])
-        n = int(self.meta["n_nodes"])
-        return (self.count * words * 8, self.count * n * 4)
+        return self._implied_bytes(self.count, self.block_counts)
 
 
-def _empty_packed(meta: dict) -> np.ndarray:
-    return np.zeros((0, int(meta["words"])), dtype=np.uint64)
+def _empty_cols(meta: dict) -> np.ndarray:
+    return np.zeros((int(meta["n_edges"]), 0), dtype=np.uint64)
 
 
 def _empty_labels(meta: dict) -> np.ndarray:
     return np.zeros((0, int(meta["n_nodes"])), dtype=np.int32)
+
+
+def _slice_block_worlds(packed_cols: np.ndarray, rows: int, lo: int, hi: int) -> np.ndarray:
+    """Columnar re-slice of worlds ``[lo, hi)`` out of a packed block."""
+    if lo == 0 and hi == rows:
+        return packed_cols
+    return pack_mask_columns(unpack_mask_columns(packed_cols, rows)[lo:hi])
 
 
 def _write_meta(directory: Path, meta: dict) -> None:
@@ -442,9 +593,9 @@ class WorldStore:
             "format": FORMAT_VERSION,
             "digest": digest,
             "n_worlds": 0,
+            "block_counts": [],
             "n_nodes": int(graph.n_nodes),
             "n_edges": int(graph.n_edges),
-            "words": packed_words(graph.n_edges),
             "backend": str(backend_name),
             "chunk_size": int(chunk_size),
         }
@@ -477,13 +628,16 @@ class WorldStore:
                 meta.get("format") == FORMAT_VERSION
                 and meta.get("digest") == fresh_meta["digest"]
                 and int(meta["n_nodes"]) == fresh_meta["n_nodes"]
-                and int(meta["words"]) == fresh_meta["words"]
+                and int(meta["n_edges"]) == fresh_meta["n_edges"]
                 and count >= 0
             )
+            block_counts: list[int] = []
+            if ok:
+                block_counts = _coerce_block_counts(meta.get("block_counts", []), count)
             if ok and count:
-                words = int(meta["words"])
-                if words:
-                    ok = (directory / _MASKS_NAME).stat().st_size >= count * words * 8
+                mask_bytes = _mask_block_bytes(fresh_meta["n_edges"], block_counts)
+                if mask_bytes:
+                    ok = (directory / _MASKS_NAME).stat().st_size >= mask_bytes
                 ok = ok and (
                     (directory / _LABELS_NAME).stat().st_size
                     >= count * fresh_meta["n_nodes"] * 4
@@ -491,6 +645,7 @@ class WorldStore:
             if ok:
                 merged = dict(fresh_meta)
                 merged["n_worlds"] = count
+                merged["block_counts"] = block_counts
                 return merged
         except (OSError, ValueError, KeyError, TypeError):
             pass
@@ -522,13 +677,16 @@ class WorldStore:
             return pool.count
 
     def read(self, digest: str, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
-        """Packed masks and labels of stored worlds ``[start, stop)``.
+        """Columnar masks and labels of stored worlds ``[start, stop)``.
 
-        Returns ``(packed, labels)`` of shapes ``(rows, words)`` uint64
-        and ``(rows, n)`` int32.  Disk pools are copied out of their
-        memmap so no file handle outlives the call; in-memory pools may
-        return *views* of the stored parts (parts are append-only and
-        treated as immutable), so callers must not mutate the result.
+        Returns ``(packed_cols, labels)`` of shapes
+        ``(m, packed_words(rows))`` uint64 and ``(rows, n)`` int32.
+        Block-aligned ranges (the oracle's warm path) are served as
+        stored views/copies directly; misaligned ranges are re-packed.
+        Disk pools are copied out of their memmap so no file handle
+        outlives the call; in-memory pools may return *views* of the
+        stored parts (parts are append-only and treated as immutable),
+        so callers must not mutate the result.
 
         The range check and the copy-out run under the store lock, so a
         concurrent :meth:`append` or disk :meth:`refresh` from another
@@ -536,7 +694,7 @@ class WorldStore:
         worker threads) can never shift ``pool.count`` between the
         validation and the slice.  Readers in *other processes* are
         lock-free as before: data files are append-only and the meta
-        count lands atomically after the rows it describes.
+        block list lands atomically after the rows it describes.
         """
         with self._lock:
             pool = self._pool(digest)
@@ -546,32 +704,59 @@ class WorldStore:
                 )
             return pool.read(start, stop)
 
-    def append(self, digest: str, start: int, packed: np.ndarray, labels: np.ndarray) -> int:
+    def read_labels(self, digest: str, start: int, stop: int) -> np.ndarray:
+        """Labels only, worlds ``[start, stop)`` — no mask bytes touched.
+
+        The warm clustering fast path: unbounded connection queries
+        never look at the masks, so a warm oracle loads labels eagerly
+        and defers the (possibly repack-heavy) columnar mask read until
+        a depth-limited query actually needs it.  Same locking and
+        view/copy contract as :meth:`read`.
+        """
+        with self._lock:
+            pool = self._pool(digest)
+            if not 0 <= start <= stop <= pool.count:
+                raise WorldStoreError(
+                    f"read range [{start}, {stop}) outside stored pool of {pool.count} worlds"
+                )
+            return pool.read_labels(start, stop)
+
+    def append(self, digest: str, start: int, packed_cols: np.ndarray, labels: np.ndarray) -> int:
         """Append worlds ``[start, start + rows)``; returns the new count.
 
-        ``start`` is the absolute pool position of the first appended
-        world.  Rows the store already holds are silently dropped
-        (safe: worlds are pure functions of their position, so any two
-        writers produce identical rows).  A gap beyond the current end
-        raises :class:`~repro.exceptions.WorldStoreError` for in-memory
-        pools (a same-process logic error); for disk pools — where a
-        gap means another process cleared the pool out from under us —
-        the write is dropped and the current count returned, keeping
-        the cache best-effort instead of failing the sampling run.
+        ``packed_cols`` is the columnar block (``(m, packed_words(rows))``
+        uint64, see :func:`pack_mask_columns`); ``labels`` its ``(rows,
+        n)`` world labels; ``start`` the absolute pool position of the
+        first appended world.  Worlds the store already holds are
+        silently dropped (safe: worlds are pure functions of their
+        position, so any two writers produce identical rows).  A gap
+        beyond the current end raises
+        :class:`~repro.exceptions.WorldStoreError` for in-memory pools
+        (a same-process logic error); for disk pools — where a gap
+        means another process cleared the pool out from under us — the
+        write is dropped and the current count returned, keeping the
+        cache best-effort instead of failing the sampling run.
 
         Disk appends hold an advisory ``flock`` on the pool directory
         and re-read the on-disk count first, so concurrent writers of
         the same pool interleave safely (each extends whatever the
         other already persisted).
         """
-        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+        packed_cols = np.ascontiguousarray(packed_cols, dtype=np.uint64)
         labels = np.ascontiguousarray(labels, dtype=np.int32)
-        if packed.shape[0] != labels.shape[0]:
+        rows = labels.shape[0]
+        if packed_cols.shape[1] != packed_words(rows):
             raise WorldStoreError(
-                f"packed/labels row mismatch: {packed.shape[0]} vs {labels.shape[0]}"
+                f"columnar block holds {packed_cols.shape[1]} words per edge "
+                f"but {rows} label rows need {packed_words(rows)}"
             )
         with self._lock:
             pool = self._pool(digest)
+            if packed_cols.shape[0] != int(pool.meta["n_edges"]):
+                raise WorldStoreError(
+                    f"columnar block has {packed_cols.shape[0]} edge rows, "
+                    f"pool expects {pool.meta['n_edges']}"
+                )
             if isinstance(pool, _DiskPool):
                 pool.directory.mkdir(parents=True, exist_ok=True)
                 with _pool_write_lock(pool.directory):
@@ -579,18 +764,23 @@ class WorldStore:
                     if start > pool.count:
                         return pool.count  # pool was cleared underneath us
                     skip = pool.count - start
-                    if skip < packed.shape[0]:
+                    if skip < rows:
                         if not (pool.directory / _META_NAME).exists():
                             _write_meta(pool.directory, pool.meta)
-                        pool.append(packed[skip:], labels[skip:])
+                        pool.append(
+                            _slice_block_worlds(packed_cols, rows, skip, rows),
+                            labels[skip:],
+                        )
                 return pool.count
             if start > pool.count:
                 raise WorldStoreError(
                     f"append at {start} would leave a gap (pool has {pool.count} worlds)"
                 )
             skip = pool.count - start
-            if skip < packed.shape[0]:
-                pool.append(packed[skip:], labels[skip:])
+            if skip < rows:
+                pool.append(
+                    _slice_block_worlds(packed_cols, rows, skip, rows), labels[skip:]
+                )
             return pool.count
 
     # ------------------------------------------------------------------
@@ -612,8 +802,11 @@ class WorldStore:
                     continue
                 # Coerce the required keys now so a meta.json missing any
                 # of them is skipped here instead of crashing info() later.
-                for key in ("n_worlds", "n_nodes", "n_edges", "words"):
+                for key in ("n_worlds", "n_nodes", "n_edges"):
                     meta[key] = int(meta[key])
+                meta["block_counts"] = _coerce_block_counts(
+                    meta.get("block_counts", []), meta["n_worlds"]
+                )
                 with self._lock:
                     self._pools.setdefault(entry.name, _DiskPool(entry, meta))
             except (OSError, ValueError, KeyError, TypeError):
@@ -636,13 +829,14 @@ class WorldStore:
                     continue  # cleared between the snapshot and this row
                 mask_bytes, label_bytes = pool.nbytes()
                 n_worlds = pool.count
+                n_blocks = len(pool.block_counts)
             rows.append(
                 PoolInfo(
                     digest=digest,
                     n_worlds=n_worlds,
                     n_nodes=int(pool.meta["n_nodes"]),
                     n_edges=int(pool.meta["n_edges"]),
-                    words=int(pool.meta["words"]),
+                    n_blocks=n_blocks,
                     mask_bytes=mask_bytes,
                     label_bytes=label_bytes,
                     persistent=isinstance(pool, _DiskPool),

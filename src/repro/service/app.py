@@ -12,6 +12,7 @@ GET    ``/graphs``                    list registered graphs
 PUT    ``/graphs/{name}``             upload a graph (``.uel`` text or JSON)
 GET    ``/graphs/{name}``             graph statistics
 DELETE ``/graphs/{name}``             unregister a graph
+PATCH  ``/graphs/{name}/edges``       mutate edges (add/remove/update)
 GET    ``/graphs/{name}/estimate``    synchronous reliability estimate
 POST   ``/jobs``                      submit a clustering job (202)
 GET    ``/jobs``                      list jobs
@@ -50,7 +51,7 @@ from repro.baselines.mcl import mcl_clustering
 from repro.core.acp import acp_clustering
 from repro.core.mcp import mcp_clustering
 from repro.datasets.registry import DATASET_NAMES, load_dataset
-from repro.exceptions import JobCancelledError, ReproError, ServiceError
+from repro.exceptions import GraphValidationError, JobCancelledError, ReproError, ServiceError
 from repro.graph.io import parse_uncertain_graph_text, probability_error
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.sampling.backends import BACKEND_NAMES
@@ -68,6 +69,11 @@ _JOB_ALGORITHMS = ("mcp", "acp", "mcl", "gmm")
 #: uninterruptible sampling run on an executor thread.
 MAX_REQUEST_SAMPLES = 1_000_000
 
+#: Ancestor revisions the registry keeps per graph for pool derivation.
+#: Nearest first; the oracle cache derives from the first one whose
+#: pool is still warm, so a short chain covers bursts of mutations.
+MAX_ANCESTORS = 4
+
 
 @dataclass
 class _GraphEntry:
@@ -78,6 +84,9 @@ class _GraphEntry:
     revision: int
     graph: UncertainGraph | None = None
     loader: object = None
+    #: Earlier revisions of this graph, nearest first — the lineage the
+    #: oracle cache derives world pools from after a PATCH mutation.
+    ancestors: tuple = ()
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
@@ -89,10 +98,14 @@ class GraphRegistry:
     All operations are thread-safe — jobs resolve graphs from executor
     threads.
 
-    Every (re-)registration gets a fresh *revision* number.  Job
-    coalescing keys include it, so a job submitted against a graph that
-    was later re-uploaded under the same name never coalesces with (or
-    serves results for) the replaced contents.
+    Every (re-)registration — uploads *and* ``PATCH`` mutations — gets
+    a fresh *revision* number.  Job coalescing keys include it, so a
+    job submitted against a graph that was later re-uploaded or mutated
+    under the same name never coalesces with (or serves results for)
+    the replaced contents.  Mutations additionally record the replaced
+    graph in the entry's ancestor lineage (up to :data:`MAX_ANCESTORS`,
+    nearest first) so the oracle cache can derive the new revision's
+    world pool instead of cold-resampling it.
     """
 
     def __init__(self):
@@ -124,6 +137,17 @@ class GraphRegistry:
 
     def resolve(self, name: str) -> tuple[UncertainGraph, int]:
         """``(graph, revision)`` under ``name``, loading lazily (404 miss)."""
+        graph, revision, _ancestors = self.resolve_with_ancestors(name)
+        return graph, revision
+
+    def resolve_with_ancestors(self, name: str) -> tuple[UncertainGraph, int, tuple]:
+        """``(graph, revision, ancestors)``, loading lazily (404 miss).
+
+        ``ancestors`` are the graph's replaced revisions, nearest first
+        — empty unless the entry has been mutated.  Pass them to
+        :meth:`repro.service.cache.OracleCache.lease` to enable pool
+        derivation.
+        """
         with self._lock:
             entry = self._entries.get(name)
         if entry is None:
@@ -137,7 +161,36 @@ class GraphRegistry:
                         raise ServiceError(
                             f"loading graph {name!r} failed: {error}", status=500
                         ) from error
-        return entry.graph, entry.revision
+        return entry.graph, entry.revision, entry.ancestors
+
+    def mutate(self, name: str, *, add=(), remove=(), update=()):
+        """Apply edge mutations to the graph under ``name``.
+
+        Returns ``(graph, revision, delta)`` — the new graph object,
+        its fresh registry revision (so in-flight jobs against the old
+        revision can never coalesce with post-mutation submissions),
+        and the :class:`~repro.graph.delta.GraphDelta` applied.  The
+        replaced graph is pushed onto the entry's ancestor lineage for
+        pool derivation.  Validation failures surface as 400
+        :class:`ServiceError`; the registry entry is only replaced on
+        success (mutations are atomic under the registry lock).
+        """
+        self.resolve(name)  # 404 for unknown names; loads lazy builtins
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or entry.graph is None:  # pragma: no cover - race window
+                raise ServiceError(f"no such graph: {name}", status=404)
+            try:
+                graph, delta = entry.graph.mutate(add=add, remove=remove, update=update)
+            except GraphValidationError as error:
+                raise ServiceError(f"invalid mutation: {error}", status=400) from error
+            ancestors = (entry.graph,) + entry.ancestors[: MAX_ANCESTORS - 1]
+            revision = next(self._revisions)
+            self._entries[name] = _GraphEntry(
+                name=name, source=entry.source, revision=revision,
+                graph=graph, ancestors=ancestors,
+            )
+        return graph, revision, delta
 
     def remove(self, name: str) -> None:
         """Unregister ``name`` (404 :class:`ServiceError` when unknown)."""
@@ -152,7 +205,8 @@ class GraphRegistry:
             entries = list(self._entries.values())
         rows = []
         for entry in sorted(entries, key=lambda e: e.name):
-            row = {"name": entry.name, "source": entry.source, "loaded": entry.graph is not None}
+            row = {"name": entry.name, "source": entry.source,
+                   "revision": entry.revision, "loaded": entry.graph is not None}
             if entry.graph is not None:
                 row["nodes"] = entry.graph.n_nodes
                 row["edges"] = entry.graph.n_edges
@@ -327,6 +381,7 @@ class ClusterService:
         router.add("POST", "/graphs/{name}", self._handle_graph_upload)
         router.add("GET", "/graphs/{name}", self._handle_graph_stats)
         router.add("DELETE", "/graphs/{name}", self._handle_graph_delete)
+        router.add("PATCH", "/graphs/{name}/edges", self._handle_graph_mutate)
         router.add("GET", "/graphs/{name}/estimate", self._handle_estimate)
         router.add("POST", "/jobs", self._handle_job_submit)
         router.add("GET", "/jobs", self._handle_jobs_list)
@@ -430,6 +485,79 @@ class ClusterService:
         self.graphs.remove(name)
         return 200, {"name": name, "removed": True}
 
+    async def _handle_graph_mutate(self, request: Request):
+        """``PATCH /graphs/{name}/edges``: apply edge mutations.
+
+        Body: ``{"ops": [{"op": "add"|"remove"|"update", "u": ...,
+        "v": ..., "p": ...}, ...]}`` (or a bare ops list).  The
+        mutation bumps the registry revision — so post-mutation job
+        submissions never coalesce with pre-mutation ones — and records
+        the replaced graph as an ancestor, letting the oracle cache
+        derive the new revision's world pool instead of resampling it.
+        """
+        name = request.params["name"]
+        body = request.json()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._mutate_sync, name, body)
+
+    def _mutate_sync(self, name: str, body):
+        graph = self.graphs.get(name)  # 404 first; also loads lazy builtins
+        add, remove, update = self._parse_mutation_ops(graph, body)
+        graph, revision, delta = self.graphs.mutate(
+            name, add=add, remove=remove, update=update
+        )
+        return 200, {
+            "name": name,
+            "revision": revision,
+            "graph_revision": graph.revision,
+            "nodes": graph.n_nodes,
+            "edges": graph.n_edges,
+            "delta": delta.summary(),
+        }
+
+    @classmethod
+    def _parse_mutation_ops(cls, graph: UncertainGraph, body):
+        """Validate a PATCH body into ``(add, remove, update)`` label ops."""
+        ops = body.get("ops") if isinstance(body, dict) else body
+        if not isinstance(ops, list) or not ops:
+            raise ServiceError(
+                "PATCH body must be {'ops': [...]} (or a bare list) with at "
+                "least one {'op': 'add'|'remove'|'update', 'u': ..., 'v': ..., 'p': ...} entry"
+            )
+        add, remove, update = [], [], []
+        for position, op in enumerate(ops, start=1):
+            if not isinstance(op, dict):
+                raise ServiceError(f"op {position}: expected an object, got {op!r}")
+            kind = op.get("op")
+            if kind not in ("add", "remove", "update"):
+                raise ServiceError(
+                    f"op {position}: 'op' must be 'add', 'remove' or 'update', got {kind!r}"
+                )
+            if "u" not in op or "v" not in op:
+                raise ServiceError(f"op {position}: 'u' and 'v' are required")
+            # Map request tokens to labels via the shared node resolver,
+            # so "3" and 3 address the same node here as everywhere else.
+            u = graph.label_of(cls._node_index(graph, op["u"]))
+            v = graph.label_of(cls._node_index(graph, op["v"]))
+            if kind == "remove":
+                if op.get("p") is not None:
+                    raise ServiceError(f"op {position}: remove takes no probability")
+                remove.append((u, v))
+                continue
+            if "p" not in op:
+                raise ServiceError(f"op {position}: {kind} needs a probability 'p'")
+            try:
+                p = float(op["p"])
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    f"op {position}: probability {op['p']!r} is not a number"
+                ) from None
+            problem = probability_error(p)
+            if problem is not None:
+                raise ServiceError(f"op {position}: {problem}")
+            (add if kind == "add" else update).append((u, v, p))
+        return add, remove, update
+
     # ------------------------------------------------------------------
     # Synchronous estimates
     # ------------------------------------------------------------------
@@ -458,12 +586,13 @@ class ClusterService:
         )
 
     def _estimate_sync(self, name, u_label, v_label, *, samples, seed, depth, backend):
-        graph = self.graphs.get(name)
+        graph, _revision, ancestors = self.graphs.resolve_with_ancestors(name)
         u = self._node_index(graph, u_label)
         v = self._node_index(graph, v_label)
         with self.cache.lease(
             graph, seed=seed, backend=backend,
             max_samples=MAX_REQUEST_SAMPLES, workers=self._sampling_workers,
+            ancestors=ancestors,
         ) as oracle:
             oracle.ensure_samples(samples)
             estimate = oracle.connection(u, v, depth=depth)
@@ -504,15 +633,17 @@ class ClusterService:
         # Resolve the graph now so unknown names fail the submission
         # with a 404 instead of a failed job discovered by polling (in
         # the executor: first touch of a lazy builtin generates it).
-        # The resolved object is captured on the job and its revision
-        # folded into the coalescing key: a later re-upload under the
-        # same name neither coalesces with nor redirects this job.
+        # The resolved object (plus its ancestor lineage, for pool
+        # derivation) is captured on the job and its revision folded
+        # into the coalescing key: a later re-upload or PATCH mutation
+        # under the same name neither coalesces with nor redirects
+        # this job.
         loop = asyncio.get_running_loop()
-        graph, revision = await loop.run_in_executor(
-            None, self.graphs.resolve, params["graph"]
+        graph, revision, ancestors = await loop.run_in_executor(
+            None, self.graphs.resolve_with_ancestors, params["graph"]
         )
         job, coalesced = self.jobs.submit(
-            params, key_suffix=f"rev{revision}", context=graph
+            params, key_suffix=f"rev{revision}", context=(graph, ancestors)
         )
         return 202, {"job": job.id, "status": job.status, "coalesced": coalesced}
 
@@ -537,9 +668,15 @@ class ClusterService:
     def _run_job(self, job) -> dict:
         """Execute one clustering job on a worker thread."""
         params = job.params
-        # The graph captured at submission; falling back to the registry
-        # only covers jobs submitted without a context (direct queue use).
-        graph = job.context if job.context is not None else self.graphs.get(params["graph"])
+        # The graph (and its derivation lineage) captured at submission;
+        # falling back to the registry only covers jobs submitted
+        # without a context (direct queue use).
+        if isinstance(job.context, tuple):
+            graph, ancestors = job.context
+        elif job.context is not None:
+            graph, ancestors = job.context, ()
+        else:
+            graph, _revision, ancestors = self.graphs.resolve_with_ancestors(params["graph"])
         algorithm = params["algorithm"]
         started = time.perf_counter()
 
@@ -558,6 +695,7 @@ class ClusterService:
                 max_samples=MAX_REQUEST_SAMPLES,
                 backend=params["backend"],
                 workers=self._sampling_workers,
+                ancestors=ancestors,
             ) as oracle:
                 run = mcp_clustering if algorithm == "mcp" else acp_clustering
                 result = run(

@@ -17,6 +17,17 @@ and never evicted mid-computation; eviction of a disk-backed pool
 removes its directory (it will be re-sampled on the next miss — the
 cache is best-effort by construction, see the PR-3 invalidation
 contract in ``docs/ARCHITECTURE.md``).
+
+Graph mutations *derive* instead of evicting: when a lease misses but
+the caller supplies ancestor revisions of the graph (the registry's
+lineage after ``PATCH /graphs/{name}/edges``), the cache pins the
+nearest ancestor's pool and runs
+:func:`~repro.sampling.deltas.derive_pool` — resampling only the
+touched edge columns and repairing only the affected labels — so the
+first request after a mutation is warm-ish instead of cold.  The pin
+makes derive-vs-evict race-free: eviction either skips the pinned
+parent or completes first, in which case derivation falls back to
+cold sampling (never a crash, never wrong worlds).
 """
 
 from __future__ import annotations
@@ -25,7 +36,9 @@ import threading
 from collections import Counter, OrderedDict
 from contextlib import contextmanager
 
+from repro.exceptions import WorldStoreError
 from repro.sampling.backends import resolve_backend
+from repro.sampling.deltas import derive_pool
 from repro.sampling.oracle import MonteCarloOracle
 from repro.sampling.store import WorldStore, pool_fingerprint
 from repro.utils.rng import ensure_seed_sequence
@@ -73,6 +86,8 @@ class OracleCache:
         self._evictions = 0
         self._worlds_cached = 0
         self._worlds_sampled = 0
+        self._pools_derived = 0
+        self._worlds_derived = 0
 
     @property
     def store(self) -> WorldStore:
@@ -86,7 +101,8 @@ class OracleCache:
 
     @contextmanager
     def lease(self, graph, *, seed, chunk_size: int = 512,
-              max_samples: int = 1_000_000, backend="auto", workers=1):
+              max_samples: int = 1_000_000, backend="auto", workers=1,
+              ancestors=()):
         """Yield a store-attached oracle, pinning its pool for the lease.
 
         The oracle is built fresh (oracles are single-threaded; the
@@ -94,6 +110,13 @@ class OracleCache:
         is open the pool cannot be evicted; on release the pool is
         marked most-recently-used, the lease's cache statistics are
         folded into the cache totals, and the byte budget is enforced.
+
+        ``ancestors`` (nearest first) are earlier revisions of
+        ``graph``; when the graph's own pool is empty but an ancestor's
+        is not, the ancestor pool is pinned and *derived* into the
+        graph's pool before the oracle attaches — the post-mutation
+        warm path.  Derivation failures of any kind fall through to
+        cold sampling.
 
         The pin is taken *before* the oracle registers the pool in the
         store, and eviction clears victims while holding the cache
@@ -108,6 +131,10 @@ class OracleCache:
         with self._lock:
             self._pinned[digest] += 1
         try:
+            if ancestors:
+                self._derive_from_ancestors(
+                    graph, ancestors, seed_seq, resolved_backend, chunk_size, digest
+                )
             oracle = MonteCarloOracle(
                 graph, seed=seed_seq, chunk_size=chunk_size, max_samples=max_samples,
                 backend=resolved_backend, workers=workers, store=self._store,
@@ -137,6 +164,52 @@ class OracleCache:
             # warm repeats (the hot path) skip the store rescan.
             if stats["worlds_sampled"] > 0 or first_touch:
                 self._enforce_budget()
+
+    def _derive_from_ancestors(
+        self, graph, ancestors, seed_seq, backend, chunk_size, digest
+    ) -> None:
+        """Try to derive ``graph``'s pool from the nearest warm ancestor.
+
+        Best-effort by construction: every store interaction is allowed
+        to fail (the parent may be evicted or cleared concurrently by
+        another worker thread or process), in which case the lease
+        simply proceeds cold.  The parent pool is pinned for the
+        duration of its derivation so eviction cannot pull it out from
+        under the block reads; see ``tests/test_deltas.py`` for the
+        eviction-interplay pins.
+        """
+        try:
+            if self._store.count(
+                self._store.register(graph, seed_seq, backend.name, chunk_size)
+            ) > 0:
+                return  # already warm — nothing to derive
+        except (WorldStoreError, OSError, ValueError):
+            return
+        for parent in ancestors:
+            if parent.n_nodes != graph.n_nodes:
+                continue  # lineage crossed an upload; not derivable
+            parent_digest = pool_fingerprint(parent, seed_seq, backend.name, chunk_size)
+            if parent_digest == digest:
+                continue
+            with self._lock:
+                self._pinned[parent_digest] += 1
+            try:
+                result = derive_pool(
+                    self._store, parent, graph,
+                    seed=seed_seq, backend=backend, chunk_size=chunk_size,
+                )
+            except (WorldStoreError, OSError, ValueError):
+                result = None
+            finally:
+                with self._lock:
+                    self._pinned[parent_digest] -= 1
+                    if self._pinned[parent_digest] <= 0:
+                        del self._pinned[parent_digest]
+            if result is not None and result.worlds_derived > 0:
+                with self._lock:
+                    self._pools_derived += 1
+                    self._worlds_derived += result.worlds_derived
+                return
 
     def _pool_bytes(self) -> dict[str, int]:
         return {
@@ -191,4 +264,6 @@ class OracleCache:
                 "evictions": self._evictions,
                 "worlds_cached": self._worlds_cached,
                 "worlds_sampled": self._worlds_sampled,
+                "pools_derived": self._pools_derived,
+                "worlds_derived": self._worlds_derived,
             }

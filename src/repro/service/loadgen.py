@@ -160,13 +160,41 @@ async def _estimate_worker(host: str, port: int, path: str, stop_at: float,
     try:
         while time.monotonic() < stop_at:
             begin = time.perf_counter()
-            status, _payload = await client.request("GET", path)
+            status, payload = await client.request("GET", path)
             if status != 200:
-                failures.append(status)
+                # Record the response body, not just the code — a bare
+                # "[400]" in the failure summary tells the operator
+                # nothing about *which* validation failed.
+                failures.append(describe_failure(status, payload))
                 return
             latencies.append(time.perf_counter() - begin)
     finally:
         await client.close()
+
+
+def describe_failure(status: int, payload) -> str:
+    """One-line summary of a non-2xx response: status plus its body.
+
+    The service answers every error with a JSON body whose ``error``
+    field carries the reason; surface it (truncated) so the failure
+    summary is actionable.
+
+    Examples
+    --------
+    >>> describe_failure(400, {"error": "estimate needs u and v"})
+    '400: estimate needs u and v'
+    >>> describe_failure(503, None)
+    '503: <no body>'
+    """
+    if isinstance(payload, dict) and "error" in payload:
+        body = str(payload["error"])
+    elif payload is None:
+        body = "<no body>"
+    else:
+        body = json.dumps(payload, sort_keys=True)
+    if len(body) > 200:
+        body = body[:197] + "..."
+    return f"{status}: {body}"
 
 
 def _quantile(sorted_values: list, q: float) -> float:
@@ -230,7 +258,10 @@ async def run_load(url: str, *, graph: str, algorithm: str = "mcp", k: int = 4,
             for _ in range(concurrency)
         ))
         if failures:
-            raise ServiceError(f"sustained load saw non-200 responses: {failures}", status=502)
+            raise ServiceError(
+                "sustained load saw non-200 responses: " + "; ".join(failures),
+                status=502,
+            )
         if not latencies:
             raise ServiceError("sustained load completed zero requests", status=502)
         latencies.sort()

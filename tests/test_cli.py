@@ -265,3 +265,73 @@ class TestServeParser:
             ["bench-serve", "http://127.0.0.1:1", "--graph", "toy"]
         ) == 2
         assert "never became healthy" in capsys.readouterr().err
+
+
+class TestMutate:
+    def test_mutate_writes_updated_graph(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "mutated.uel"
+        code = main([
+            "mutate", graph_file, "--update", "0", "1", "0.123",
+            "--add", "0", "4", "0.5", "-o", str(out),
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "+1" in err and "~1" in err and "revision 0 -> 1" in err
+        from repro.graph.io import read_uncertain_graph
+
+        mutated = read_uncertain_graph(out)
+        assert mutated.n_edges == 8  # two_triangles has 7
+        assert mutated.edge_probability_between(
+            mutated.index_of("0"), mutated.index_of("1")
+        ) == 0.123
+
+    def test_mutate_in_place_by_default(self, graph_file, capsys):
+        assert main(["mutate", graph_file, "--remove", "2", "3"]) == 0
+        from repro.graph.io import read_uncertain_graph
+
+        graph = read_uncertain_graph(graph_file)
+        assert graph.n_edges == 6
+        assert graph.n_nodes == 6  # node-order directive keeps all nodes
+
+    def test_mutate_without_ops_errors(self, graph_file, capsys):
+        assert main(["mutate", graph_file]) == 2
+        assert "no mutation ops" in capsys.readouterr().err
+
+    def test_mutate_invalid_op_errors(self, graph_file, capsys):
+        assert main(["mutate", graph_file, "--remove", "0", "5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_mutate_derives_world_cache(self, graph_file, tmp_path, capsys):
+        cache = tmp_path / "wc"
+        assert main([
+            "estimate", graph_file, "0", "1", "--samples", "300",
+            "--world-cache", str(cache), "--workers", "1",
+        ]) == 0
+        out = tmp_path / "mutated.uel"
+        assert main([
+            "mutate", graph_file, "--update", "0", "1", "0.95",
+            "-o", str(out), "--world-cache", str(cache),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "derived 300 worlds" in err
+        # The derived pool serves the mutated graph warm, bit-identically
+        # to a cold run at the same seed.
+        from repro.graph.io import read_uncertain_graph
+        from repro.sampling.oracle import MonteCarloOracle
+
+        mutated = read_uncertain_graph(out)
+        with MonteCarloOracle(mutated, seed=0, cache_dir=cache) as warm:
+            warm.ensure_samples(300)
+            assert warm.cache_stats["worlds_sampled"] == 0
+            warm_labels = warm.component_labels
+        with MonteCarloOracle(mutated, seed=0) as cold:
+            cold.ensure_samples(300)
+            assert (warm_labels == cold.component_labels).all()
+
+    def test_mutate_without_parent_pool_reports_cold(self, graph_file, tmp_path, capsys):
+        cache = tmp_path / "empty-wc"
+        assert main([
+            "mutate", graph_file, "--update", "0", "1", "0.95",
+            "--world-cache", str(cache),
+        ]) == 0
+        assert "samples cold" in capsys.readouterr().err

@@ -87,3 +87,66 @@ class TestReading:
         g = read_uncertain_graph(path, numeric_labels=True, merge="max")
         assert g.n_edges == 1
         assert g.edge_prob[0] == pytest.approx(0.9)
+
+
+class TestNodeOrderDirective:
+    """#% node-order pins numbering across write/read roundtrips."""
+
+    def test_roundtrip_preserves_numbering_and_fingerprint(self, tmp_path):
+        import numpy as np
+
+        from repro.sampling.store import pool_fingerprint
+
+        graph = UncertainGraph.from_edges(
+            [("c", "a", 0.5), ("a", "b", 0.25), ("b", "d", 0.75)]
+        )
+        path = tmp_path / "g.uel"
+        write_uncertain_graph(graph, path)
+        assert "#% node-order:" in path.read_text()
+        reread = read_uncertain_graph(path)
+        assert reread.node_labels == graph.node_labels
+        assert np.array_equal(reread.edge_src, graph.edge_src)
+        assert np.array_equal(reread.edge_dst, graph.edge_dst)
+        assert pool_fingerprint(reread, 0, "scipy", 512) == pool_fingerprint(
+            graph, 0, "scipy", 512
+        )
+
+    def test_directive_preserves_isolated_nodes(self, tmp_path):
+        graph = UncertainGraph(4, [0], [1], [0.5])
+        path = tmp_path / "g.uel"
+        write_uncertain_graph(graph, path)
+        reread = read_uncertain_graph(path)
+        assert reread.n_nodes == 4  # nodes 2 and 3 survive despite no edges
+
+    def test_directive_wraps_long_label_lists(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        edges = [(i, i + 1, 0.5) for i in range(199)]
+        graph = UncertainGraph.from_edges(edges, nodes=rng.permutation(200).tolist())
+        path = tmp_path / "g.uel"
+        write_uncertain_graph(graph, path)
+        directive_lines = [
+            line for line in path.read_text().splitlines()
+            if line.startswith("#% node-order:")
+        ]
+        assert len(directive_lines) > 1  # wrapped
+        assert read_uncertain_graph(path).node_labels == tuple(
+            str(label) for label in graph.node_labels
+        )
+
+    def test_files_without_directive_parse_as_before(self, tmp_path):
+        path = tmp_path / "legacy.uel"
+        path.write_text("# a comment\nb a 0.5\na c 0.25\n")
+        graph = read_uncertain_graph(path)
+        assert graph.node_labels == ("b", "a", "c")  # first-seen order
+
+    def test_numeric_labels_directive(self, tmp_path):
+        path = tmp_path / "g.uel"
+        path.write_text("#% node-order: 5 3 1\n3 5 0.5\n")
+        graph = read_uncertain_graph(path, numeric_labels=True)
+        assert graph.node_labels == (5, 3, 1)
+        bad = tmp_path / "bad.uel"
+        bad.write_text("#% node-order: a b\na b 0.5\n")
+        with pytest.raises(GraphValidationError, match="node-order"):
+            read_uncertain_graph(bad, numeric_labels=True)

@@ -20,12 +20,15 @@ from repro.sampling import MonteCarloOracle
 from repro.sampling.backends import ScipyWorldBackend
 from repro.sampling.parallel import (
     DEFAULT_SHARD_WORLDS,
+    EDGE_STREAM_TAG,
     ParallelSampler,
+    edge_seed_sequence,
+    edge_stream_state,
     ensure_seed_sequence,
     resolve_workers,
-    sample_shard_masks,
+    sample_edge_column,
+    sample_mask_rows,
     shard_plan,
-    shard_seed_sequence,
     validate_workers_spec,
 )
 from tests.conftest import random_graph
@@ -48,39 +51,84 @@ def pooled_oracle(graph, *, workers, backend="scipy", chunk_size=512, seed=99, s
     return oracle
 
 
-class TestShardStreams:
-    """The random-stream derivation the whole design rests on."""
+class TestEdgeStreams:
+    """The per-edge random-stream derivation the whole design rests on."""
 
     def test_split_draw_equals_whole_draw(self):
-        """Row offsets must continue a shard's stream exactly (pins the
-        one-uniform-per-edge advance arithmetic)."""
-        prob = np.linspace(0.05, 0.95, 17)
+        """World offsets must continue an edge's stream exactly (pins
+        the one-uniform-per-world advance arithmetic)."""
         root = ensure_seed_sequence(42)
-        whole = sample_shard_masks(prob, root, shard=3, offset=0, rows=50)
+        whole = sample_edge_column(root, 3, 9, 0.5, 0, 50)
         parts = [
-            sample_shard_masks(prob, root, shard=3, offset=0, rows=20),
-            sample_shard_masks(prob, root, shard=3, offset=20, rows=13),
-            sample_shard_masks(prob, root, shard=3, offset=33, rows=17),
+            sample_edge_column(root, 3, 9, 0.5, 0, 20),
+            sample_edge_column(root, 3, 9, 0.5, 20, 13),
+            sample_edge_column(root, 3, 9, 0.5, 33, 17),
         ]
-        assert np.array_equal(whole, np.concatenate(parts, axis=0))
+        assert np.array_equal(whole, np.concatenate(parts))
 
-    def test_shards_are_independent_streams(self):
-        prob = np.full(8, 0.5)
+    def test_edges_are_independent_streams(self):
         root = ensure_seed_sequence(0)
-        a = sample_shard_masks(prob, root, shard=0, offset=0, rows=16)
-        b = sample_shard_masks(prob, root, shard=1, offset=0, rows=16)
+        a = sample_edge_column(root, 0, 1, 0.5, 0, 64)
+        b = sample_edge_column(root, 0, 2, 0.5, 0, 64)
         assert not np.array_equal(a, b)
 
-    def test_shard_streams_match_numpy_spawn(self):
-        """Shard j's stream is exactly the j-th spawn child of the root."""
+    def test_stream_keyed_by_canonical_endpoints(self):
+        """(u, v) and (v, u) are the same edge, hence the same stream."""
         root = np.random.SeedSequence(7)
-        spawned = np.random.SeedSequence(7).spawn(3)[2]
-        ours = shard_seed_sequence(root, 2)
-        assert ours.entropy == spawned.entropy
-        assert tuple(ours.spawn_key) == tuple(spawned.spawn_key)
+        assert edge_seed_sequence(root, 5, 2).spawn_key == (EDGE_STREAM_TAG, 2, 5)
+        assert np.array_equal(
+            sample_edge_column(root, 5, 2, 0.4, 0, 32),
+            sample_edge_column(root, 2, 5, 0.4, 0, 32),
+        )
+
+    def test_stream_independent_of_column_position(self):
+        """Mask bit (i, e) depends on the edge's *endpoints*, not its
+        position in the edge arrays — the delta-derivation contract."""
+        root = ensure_seed_sequence(5)
+        src_a, dst_a = np.array([0, 1, 2]), np.array([1, 2, 3])
+        src_b, dst_b = np.array([2, 0, 1]), np.array([3, 1, 2])  # permuted
+        prob = np.array([0.3, 0.5, 0.7])
+        a = sample_mask_rows(src_a, dst_a, prob, root, 0, 40)
+        b = sample_mask_rows(src_b, dst_b, prob[[2, 0, 1]], root, 0, 40)
+        assert np.array_equal(a, b[:, [1, 2, 0]])
+
+    def test_cached_state_matches_fresh_derivation(self):
+        root = ensure_seed_sequence(11)
+        state = edge_stream_state(root, 4, 7)
+        assert np.array_equal(
+            sample_edge_column(root, 4, 7, 0.6, 10, 30, state=state),
+            sample_edge_column(root, 4, 7, 0.6, 10, 30),
+        )
+
+    def test_mask_rows_match_columns(self):
+        """The row API is the column API evaluated per edge."""
+        root = ensure_seed_sequence(3)
+        src, dst = np.array([0, 0, 2]), np.array([1, 3, 3])
+        prob = np.array([0.2, 0.5, 0.9])
+        rows = sample_mask_rows(src, dst, prob, root, 7, 25)
+        for j in range(3):
+            assert np.array_equal(
+                rows[:, j],
+                sample_edge_column(root, int(src[j]), int(dst[j]), prob[j], 7, 25),
+            )
+
+    def test_state_cache_is_filled_and_reused(self):
+        root = ensure_seed_sequence(9)
+        cache: dict = {}
+        first = sample_mask_rows(
+            np.array([0]), np.array([1]), np.array([0.5]), root, 0, 16, state_cache=cache
+        )
+        assert (0, 1) in cache
+        again = sample_mask_rows(
+            np.array([0]), np.array([1]), np.array([0.5]), root, 0, 16, state_cache=cache
+        )
+        assert np.array_equal(first, again)
 
     def test_edgeless_graph(self):
-        masks = sample_shard_masks(np.empty(0), ensure_seed_sequence(1), 0, 0, 5)
+        masks = sample_mask_rows(
+            np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp),
+            np.empty(0), ensure_seed_sequence(1), 0, 5,
+        )
         assert masks.shape == (5, 0)
 
     def test_seed_sequence_coercions(self):

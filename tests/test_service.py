@@ -712,3 +712,191 @@ class TestOracleCacheEviction:
             assert cache.store.count(oracle.pool_digest) == 128
         # After release the budget evicts it.
         assert cache.stats()["pools"] == 0
+
+
+class TestGraphMutation:
+    """PATCH /graphs/{name}/edges: revisions, coalescing, warm derivation."""
+
+    def test_patch_updates_edge_and_bumps_revision(self, client):
+        status, before = client.request("GET", "/graphs")
+        rev_before = next(g["revision"] for g in before["graphs"] if g["name"] == "toy")
+        status, payload = client.request(
+            "PATCH", "/graphs/toy/edges",
+            {"ops": [{"op": "update", "u": 0, "v": 1, "p": 0.25}]},
+        )
+        assert status == 200, payload
+        assert payload["delta"] == {"added": 0, "removed": 0, "updated": 1}
+        assert payload["revision"] > rev_before
+        assert payload["graph_revision"] == 1
+        status, after = client.request("GET", "/graphs/toy")
+        assert after["edge_probability"]["min"] == 0.05  # untouched edge
+
+    def test_patch_add_and_remove(self, client):
+        status, payload = client.request(
+            "PATCH", "/graphs/toy/edges",
+            {"ops": [{"op": "add", "u": 0, "v": 5, "p": 0.5},
+                     {"op": "remove", "u": 2, "v": 3}]},
+        )
+        assert status == 200
+        assert payload["delta"] == {"added": 1, "removed": 1, "updated": 0}
+        assert payload["edges"] == 7  # 7 - 1 + 1
+
+    def test_patch_bare_list_body(self, client):
+        status, payload = client.request(
+            "PATCH", "/graphs/toy/edges", [{"op": "update", "u": 0, "v": 1, "p": 0.4}]
+        )
+        assert status == 200 and payload["delta"]["updated"] == 1
+
+    def test_patch_validation_errors_400(self, client):
+        cases = [
+            {},                                                   # no ops
+            {"ops": []},                                          # empty ops
+            {"ops": [{"op": "toggle", "u": 0, "v": 1}]},          # bad op
+            {"ops": [{"op": "add", "u": 0}]},                     # missing v
+            {"ops": [{"op": "add", "u": 0, "v": 1, "p": 0.5}]},   # exists
+            {"ops": [{"op": "remove", "u": 0, "v": 5}]},          # missing edge
+            {"ops": [{"op": "update", "u": 0, "v": 1, "p": 1.5}]},  # bad p
+            {"ops": [{"op": "update", "u": 0, "v": 1}]},          # no p
+            {"ops": [{"op": "remove", "u": 0, "v": 1, "p": 0.5}]},  # p on remove
+            {"ops": [{"op": "update", "u": 0, "v": 1, "p": 0.3},
+                     {"op": "update", "u": 1, "v": 0, "p": 0.4}]},  # dup edge
+        ]
+        for body in cases:
+            status, payload = client.request("PATCH", "/graphs/toy/edges", body)
+            assert status == 400, (body, payload)
+            assert "error" in payload
+
+    def test_patch_unknown_graph_404(self, client):
+        status, _ = client.request(
+            "PATCH", "/graphs/nope/edges",
+            {"ops": [{"op": "update", "u": 0, "v": 1, "p": 0.5}]},
+        )
+        assert status == 404
+
+    def test_patch_unknown_node_404(self, client):
+        status, payload = client.request(
+            "PATCH", "/graphs/toy/edges",
+            {"ops": [{"op": "update", "u": 0, "v": 99, "p": 0.5}]},
+        )
+        assert status == 404
+        assert "no such node" in payload["error"]
+
+    def test_patch_mutation_prevents_coalescing(self, service, client):
+        """The regression pin: a PATCH (not just a re-upload) bumps the
+        revision, so a post-mutation submission never coalesces with an
+        in-flight pre-mutation job — and each job runs on its own
+        revision's contents."""
+        gate = threading.Event()
+        original = service._run_job
+
+        def gated(job):
+            gate.wait(TIMEOUT)
+            return original(job)
+
+        service.jobs._runner = gated
+        params = {"graph": "toy", "algorithm": "gmm", "k": 2}
+        try:
+            _, first = client.request("POST", "/jobs", params)
+            assert first["coalesced"] is False
+            status, patched = client.request(
+                "PATCH", "/graphs/toy/edges",
+                {"ops": [{"op": "remove", "u": 2, "v": 3}]},
+            )
+            assert status == 200
+            _, second = client.request("POST", "/jobs", params)
+            assert second["job"] != first["job"]  # mutated contents: no coalescing
+            assert second["coalesced"] is False
+            # Identical re-submission against the *same* revision coalesces.
+            _, third = client.request("POST", "/jobs", params)
+            assert third["job"] == second["job"] and third["coalesced"] is True
+        finally:
+            gate.set()
+            service.jobs._runner = original
+        client.wait_job(first["job"])
+        client.wait_job(second["job"])
+
+    def test_job_after_mutation_is_warm_via_derivation(self, service, client, monkeypatch):
+        """Warm-after-mutation: the post-PATCH job derives the pool from
+        the pre-mutation one and performs zero new sample_chunk calls."""
+        params = {"graph": "toy", "algorithm": "mcp", "k": 2, "samples": 300, "seed": 3}
+        cold = client.run_job(params)
+        assert cold["worlds_sampled"] > 0
+
+        calls = []
+        original = ParallelSampler.sample_chunk
+
+        def spying(sampler, root, start, count):
+            calls.append(count)
+            return original(sampler, root, start, count)
+
+        monkeypatch.setattr(ParallelSampler, "sample_chunk", spying)
+        status, _ = client.request(
+            "PATCH", "/graphs/toy/edges",
+            {"ops": [{"op": "update", "u": 0, "v": 1, "p": 0.91}]},
+        )
+        assert status == 200
+        warm = client.run_job(params)
+        assert calls == []  # derived, not resampled
+        assert warm["worlds_sampled"] == 0
+        assert warm["warm"] is True
+        status, stats = client.request("GET", "/cache")
+        assert stats["pools_derived"] >= 1
+        assert stats["worlds_derived"] > 0
+        # The derived labels equal a cold run of the mutated graph.
+        graph, _rev, _anc = service.graphs.resolve_with_ancestors("toy")
+        direct = mcp_clustering(
+            graph, 2, seed=3,
+            sample_schedule=PracticalSchedule(max_samples=300),
+        )
+        assert warm["assignment"] == direct.clustering.assignment.tolist()
+
+    def test_estimate_after_mutation_is_warm(self, client):
+        path = "/graphs/toy/estimate?u=0&v=2&samples=400&seed=1"
+        status, cold = client.request("GET", path)
+        assert status == 200 and cold["worlds_sampled"] == 400
+        status, _ = client.request(
+            "PATCH", "/graphs/toy/edges",
+            {"ops": [{"op": "update", "u": 3, "v": 4, "p": 0.9}]},
+        )
+        assert status == 200
+        status, warm = client.request("GET", path)
+        assert status == 200
+        assert warm["worlds_sampled"] == 0  # derived from the parent pool
+        assert warm["worlds_cached"] == 400
+
+
+class TestLoadgenFailureBodies:
+    """`repro bench-serve` failure summaries carry response bodies."""
+
+    def test_describe_failure_includes_body(self):
+        from repro.service.loadgen import describe_failure
+
+        assert describe_failure(400, {"error": "bad samples"}) == "400: bad samples"
+        assert describe_failure(500, None) == "500: <no body>"
+        assert describe_failure(502, {"weird": True}) == '502: {"weird": true}'
+        long = describe_failure(400, {"error": "x" * 500})
+        assert len(long) <= 210 and long.endswith("...")
+
+    def test_sustained_load_failure_reports_body(self, server):
+        """End to end: a non-200 during the sustained phase surfaces the
+        service's error body, not just the status code."""
+        import asyncio
+
+        from repro.service.loadgen import ServiceClient, _estimate_worker
+
+        async def run():
+            latencies, failures = [], []
+            client = ServiceClient("127.0.0.1", server.port)
+            # Bad samples parameter -> 400 with a JSON error body.
+            await _estimate_worker(
+                "127.0.0.1", server.port,
+                "/graphs/toy/estimate?u=0&v=1&samples=0",
+                time.monotonic() + 5, latencies, failures,
+            )
+            await client.close()
+            return failures
+
+        failures = asyncio.run(run())
+        assert len(failures) == 1
+        assert failures[0].startswith("400:")
+        assert "samples" in failures[0]  # the body, not just the code

@@ -23,9 +23,11 @@ from repro.sampling.oracle import MonteCarloOracle
 from repro.sampling.parallel import ParallelSampler
 from repro.sampling.store import (
     WorldStore,
+    pack_mask_columns,
     pack_masks,
     packed_words,
     pool_fingerprint,
+    unpack_mask_columns,
     unpack_masks,
 )
 
@@ -91,6 +93,40 @@ class TestPacking:
         assert np.array_equal(unpack_masks(view[3:7], 100), masks[3:7])
 
 
+class TestColumnarPacking:
+    """The store's edge-major layout: one row per edge."""
+
+    @pytest.mark.parametrize("r,m", [(0, 5), (1, 1), (63, 3), (64, 4), (65, 5), (200, 7), (2, 0)])
+    def test_roundtrip(self, r, m):
+        rng = np.random.default_rng(r * 100 + m)
+        masks = rng.random((r, m)) < 0.5
+        cols = pack_mask_columns(masks)
+        assert cols.dtype == np.uint64
+        assert cols.shape == (m, packed_words(r))
+        assert np.array_equal(unpack_mask_columns(cols, r), masks)
+
+    def test_columns_are_contiguous_rows(self):
+        """Edge e's bits are row e — the delta-update access pattern."""
+        masks = np.random.default_rng(1).random((128, 5)) < 0.5
+        cols = pack_mask_columns(masks)
+        for e in range(5):
+            row = unpack_mask_columns(cols[e:e + 1], 128)[:, 0]
+            assert np.array_equal(row, masks[:, e])
+
+    def test_eight_fold_memory_cut(self):
+        masks = np.random.default_rng(2).random((640, 50)) < 0.3
+        cols = pack_mask_columns(masks)
+        assert cols.nbytes * 8 == masks.nbytes  # 640 worlds = 10 words exactly
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            pack_mask_columns(np.zeros(4, dtype=bool))
+        with pytest.raises(ValueError):
+            unpack_mask_columns(np.zeros((2, 2), dtype=np.uint64), 200)
+        with pytest.raises(ValueError):
+            unpack_mask_columns(np.zeros((0, 2), dtype=np.uint64), 200)
+
+
 class TestFingerprint:
     def test_deterministic(self, graph):
         a = pool_fingerprint(graph, 7, "unionfind", 512)
@@ -128,29 +164,30 @@ class TestWorldStoreUnit:
         store = WorldStore()
         digest = store.register(graph, 7, "scipy", 64)
         assert store.count(digest) == 0
-        packed = pack_masks(np.random.default_rng(0).random((10, graph.n_edges)) < 0.5)
+        masks = np.random.default_rng(0).random((10, graph.n_edges)) < 0.5
         labels = np.zeros((10, graph.n_nodes), dtype=np.int32)
-        assert store.append(digest, 0, packed, labels) == 10
+        assert store.append(digest, 0, pack_mask_columns(masks), labels) == 10
         got_packed, got_labels = store.read(digest, 2, 9)
-        assert np.array_equal(got_packed, packed[2:9])
+        assert np.array_equal(unpack_mask_columns(got_packed, 7), masks[2:9])
         assert got_labels.shape == (7, graph.n_nodes)
 
     def test_overlapping_append_trimmed(self, graph):
         store = WorldStore()
         digest = store.register(graph, 7, "scipy", 64)
-        packed = pack_masks(np.random.default_rng(0).random((10, graph.n_edges)) < 0.5)
-        labels = np.arange(10 * graph.n_nodes, dtype=np.int32).reshape(10, -1)
-        store.append(digest, 0, packed, labels)
-        # Re-appending the same rows (plus 2 new ones) keeps 12 total.
-        more_packed = np.concatenate([packed[5:], packed[:2]])
-        more_labels = np.concatenate([labels[5:], labels[:2]])
-        assert store.append(digest, 5, more_packed, more_labels) == 12
+        masks = np.random.default_rng(0).random((12, graph.n_edges)) < 0.5
+        labels = np.arange(12 * graph.n_nodes, dtype=np.int32).reshape(12, -1)
+        store.append(digest, 0, pack_mask_columns(masks[:10]), labels[:10])
+        # Re-appending worlds 5..11 (5 overlapping + 2 new) keeps 12 total.
+        assert store.append(digest, 5, pack_mask_columns(masks[5:]), labels[5:]) == 12
         assert store.count(digest) == 12
+        got_packed, got_labels = store.read(digest, 0, 12)
+        assert np.array_equal(unpack_mask_columns(got_packed, 12), masks)
+        assert np.array_equal(got_labels, labels)
 
     def test_gap_append_rejected(self, graph):
         store = WorldStore()
         digest = store.register(graph, 7, "scipy", 64)
-        packed = pack_masks(np.zeros((1, graph.n_edges), dtype=bool))
+        packed = pack_mask_columns(np.zeros((1, graph.n_edges), dtype=bool))
         with pytest.raises(WorldStoreError):
             store.append(digest, 5, packed, np.zeros((1, graph.n_nodes), dtype=np.int32))
 
@@ -171,7 +208,10 @@ class TestWorldStoreUnit:
         (pool,) = store.info()
         assert pool.n_worlds == 64
         assert pool.persistent
-        assert pool.mask_bytes == 64 * packed_words(graph.n_edges) * 8
+        # 64 worlds drawn in two 32-world blocks: each block packs every
+        # edge's column into packed_words(32) = 1 word.
+        assert pool.n_blocks == 2
+        assert pool.mask_bytes == 2 * graph.n_edges * packed_words(32) * 8
         assert pool.label_bytes == 64 * graph.n_nodes * 4
         assert store.clear() == 1
         assert store.info() == []
@@ -283,9 +323,10 @@ class TestDiskPersistence:
             digest = oracle.pool_digest
         pool_dir = cache / digest
         meta = json.loads((pool_dir / "meta.json").read_text())
-        words = packed_words(graph.n_edges)
         assert meta["n_worlds"] == 100
-        assert (pool_dir / "masks.u64").stat().st_size == 100 * words * 8
+        assert meta["block_counts"] == [64, 36]  # two ensure_samples chunks
+        mask_bytes = graph.n_edges * (packed_words(64) + packed_words(36)) * 8
+        assert (pool_dir / "masks.u64").stat().st_size == mask_bytes
         assert (pool_dir / "labels.i32").stat().st_size == 100 * graph.n_nodes * 4
 
     def test_truncated_data_treated_as_miss(self, graph, tmp_path, monkeypatch):
@@ -350,11 +391,14 @@ class TestDiskPersistence:
         # The stale writer now appends worlds 0..127 from its own view.
         with MonteCarloOracle(graph, seed=13, chunk_size=128) as b:
             b.ensure_samples(128)
-            packed = pack_masks(
-                np.concatenate([unpack_masks(c, graph.n_edges) for c in b._packed_chunks])
+            masks = np.concatenate(
+                [
+                    unpack_mask_columns(cols, lab.shape[0])
+                    for cols, lab in zip(b._packed_chunks, b._label_chunks)
+                ]
             )
             labels = b.component_labels
-        assert stale.append(digest, 0, packed, labels) == 128
+        assert stale.append(digest, 0, pack_mask_columns(masks), labels) == 128
 
         with MonteCarloOracle(graph, seed=13, chunk_size=64, cache_dir=cache) as warm:
             warm.ensure_samples(128)
@@ -367,7 +411,7 @@ class TestDiskPersistence:
         cache = tmp_path / "worlds"
         store = WorldStore(cache)
         digest = store.register(graph, 6, "scipy", 32)
-        packed = pack_masks(np.zeros((32, graph.n_edges), dtype=bool))
+        packed = pack_mask_columns(np.zeros((32, graph.n_edges), dtype=bool))
         labels = np.zeros((32, graph.n_nodes), dtype=np.int32)
         store.append(digest, 0, packed, labels)
         WorldStore(cache).clear()  # "another process" clears the pool
@@ -397,10 +441,11 @@ class TestDiskPersistence:
             cold.ensure_samples(64)
             cold_labels = cold.component_labels
 
-        monkeypatch.setattr(
-            WorldStore, "read",
-            lambda self, digest, start, stop: (_ for _ in ()).throw(FileNotFoundError()),
-        )
+        def raising(self, digest, start, stop):
+            raise FileNotFoundError()
+
+        monkeypatch.setattr(WorldStore, "read", raising)
+        monkeypatch.setattr(WorldStore, "read_labels", raising)
         spy = SamplerSpy(monkeypatch)
         with MonteCarloOracle(graph, seed=4, chunk_size=32, cache_dir=cache) as redo:
             redo.ensure_samples(64)
@@ -449,3 +494,45 @@ class TestClusteringReuse:
             first.clustering.assignment, second.clustering.assignment
         )
         assert first.min_prob_estimate == second.min_prob_estimate
+
+
+class TestLazyMaskLoading:
+    """Warm labels load eagerly; packed masks stay in the store until a
+    depth-limited query needs them."""
+
+    def test_warm_unbounded_queries_never_read_masks(self, graph, monkeypatch):
+        store = WorldStore()
+        with MonteCarloOracle(graph, seed=21, chunk_size=64, store=store) as cold:
+            cold.ensure_samples(128)
+
+        def forbidden(self, digest, start, stop):  # pragma: no cover - failure path
+            raise AssertionError("unbounded queries must not read mask bytes")
+
+        monkeypatch.setattr(WorldStore, "read", forbidden)
+        with MonteCarloOracle(graph, seed=21, chunk_size=64, store=store) as warm:
+            warm.ensure_samples(128)
+            warm.connection(0, 1)
+            warm.pairwise_matrix([0, 1, 2])
+            assert warm.packed_mask_nbytes == 0  # nothing materialized
+
+    def test_warm_depth_query_materializes_masks(self, graph):
+        store = WorldStore()
+        with MonteCarloOracle(graph, seed=22, chunk_size=64, store=store) as cold:
+            cold.ensure_samples(128)
+            cold_depth = cold.connection_to_all(0, depth=2)
+        with MonteCarloOracle(graph, seed=22, chunk_size=64, store=store) as warm:
+            warm.ensure_samples(128)
+            assert np.array_equal(warm.connection_to_all(0, depth=2), cold_depth)
+            assert warm.packed_mask_nbytes > 0
+
+    def test_depth_query_after_pool_clear_resamples(self, graph):
+        """A cleared pool between the warm load and the first depth query
+        costs a deterministic resample, never a crash."""
+        store = WorldStore()
+        with MonteCarloOracle(graph, seed=23, chunk_size=64, store=store) as cold:
+            cold.ensure_samples(128)
+            cold_depth = cold.connection_to_all(3, depth=2)
+        with MonteCarloOracle(graph, seed=23, chunk_size=64, store=store) as warm:
+            warm.ensure_samples(128)
+            store.clear()  # pool evicted before any mask was touched
+            assert np.array_equal(warm.connection_to_all(3, depth=2), cold_depth)
