@@ -35,7 +35,7 @@ from repro.sampling import MonteCarloOracle
 
 R = 512  # worlds per measured ensure_samples call (= 4 default shards)
 
-BACKEND_NAMES = ("scipy", "unionfind")
+BACKEND_NAMES = ("scipy", "unionfind", "bitparallel")
 WORKER_COUNTS = (1, 2, 4)
 
 

@@ -56,7 +56,7 @@ def main() -> None:
     # --- threshold histogram ------------------------------------------
     counts, edges = reliability_histogram(oracle, source, bins=5)
     print("\nconnection-probability histogram from the source:")
-    for count, lo, hi in zip(counts, edges, edges[1:]):
+    for count, lo, hi in zip(counts, edges, edges[1:], strict=False):
         print(f"  [{lo:.1f}, {hi:.1f}): {'#' * max(1, int(40 * count / counts.max())) if count else ''} {count}")
 
     # --- representative world -----------------------------------------

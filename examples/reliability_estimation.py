@@ -51,7 +51,7 @@ def main() -> None:
     # The d-connection probability is monotone in d and converges to the
     # unconstrained one — the invariant the depth-limited algorithms use.
     values = [exact.connection(u, v, depth=d) for d in (1, 2, 3)]
-    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:], strict=False))
     assert values[-1] <= truth + 1e-12
     print("\nmonotonicity in d verified against the exact oracle.")
 

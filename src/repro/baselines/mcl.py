@@ -120,8 +120,9 @@ def mcl_clustering(
     matrix = _normalize_columns(matrix)
 
     converged = False
-    iteration = 0
+    n_iterations = 0
     for iteration in range(1, max_iterations + 1):
+        n_iterations = iteration
         expanded = matrix
         for _ in range(expansion - 1):
             expanded = (expanded @ matrix).tocsc()
@@ -143,7 +144,7 @@ def mcl_clustering(
     return MCLResult(
         clustering=clustering,
         inflation=inflation,
-        n_iterations=iteration,
+        n_iterations=n_iterations,
         converged=converged,
     )
 

@@ -95,7 +95,7 @@ def resolve_guess_schedule(
         raise ClusteringError("guesses must be finite")
     if any(not 0 < q <= 1 for q in guesses):
         raise ClusteringError("guesses must lie in (0, 1]")
-    if any(b >= a for a, b in zip(guesses, guesses[1:])):
+    if any(b >= a for a, b in zip(guesses, guesses[1:], strict=False)):
         raise ClusteringError("guesses must be strictly decreasing")
     return guesses
 

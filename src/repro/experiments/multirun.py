@@ -53,7 +53,7 @@ def run_repeated_suite(
     scale = get_scale(scale)
     root = ensure_rng(seed)
     observations: dict[tuple, list] = {}
-    for run_index in range(n_runs):
+    for _run_index in range(n_runs):
         run_seed = int(root.integers(2**31))
         suite = run_quality_suite(scale, seed=run_seed, datasets=datasets, progress=progress)
         # Rank the k values per (graph, algorithm): rank follows the

@@ -30,7 +30,7 @@ def _grid(per_graph: dict[str, dict[str, tuple[float, float, float]]]):
     flat = {}
     for graph, by_algorithm in per_graph.items():
         for algorithm, values in by_algorithm.items():
-            for k, value in zip(PAPER_KS[graph], values):
+            for k, value in zip(PAPER_KS[graph], values, strict=True):
                 flat[(graph, k, algorithm)] = value
     return flat
 

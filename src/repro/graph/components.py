@@ -69,7 +69,7 @@ class UnionFind:
 
     def union_edges(self, src: np.ndarray, dst: np.ndarray) -> None:
         """Union every pair ``(src[i], dst[i])``."""
-        for x, y in zip(src.tolist(), dst.tolist()):
+        for x, y in zip(src.tolist(), dst.tolist(), strict=True):
             self.union(x, y)
 
     def labels(self) -> np.ndarray:

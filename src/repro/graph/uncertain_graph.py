@@ -543,7 +543,7 @@ class UncertainGraph:
         # under the service registry lock.
         edge_index = {
             (int(u), int(v)): i
-            for i, (u, v) in enumerate(zip(self._src.tolist(), self._dst.tolist()))
+            for i, (u, v) in enumerate(zip(self._src.tolist(), self._dst.tolist(), strict=True))
         }
         seen: set[tuple[int, int]] = set()
         ops: list[EdgeOp] = []
@@ -625,7 +625,7 @@ class UncertainGraph:
         graph = nx.Graph()
         labels = self.node_labels
         graph.add_nodes_from(labels)
-        for u, v, p in zip(self._src.tolist(), self._dst.tolist(), self._prob.tolist()):
+        for u, v, p in zip(self._src.tolist(), self._dst.tolist(), self._prob.tolist(), strict=True):
             graph.add_edge(labels[u], labels[v], **{prob_attr: p})
         return graph
 
@@ -634,7 +634,7 @@ class UncertainGraph:
         labels = self.node_labels
         return [
             (labels[u], labels[v], float(p))
-            for u, v, p in zip(self._src.tolist(), self._dst.tolist(), self._prob.tolist())
+            for u, v, p in zip(self._src.tolist(), self._dst.tolist(), self._prob.tolist(), strict=True)
         ]
 
     def __repr__(self) -> str:

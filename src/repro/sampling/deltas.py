@@ -130,9 +130,12 @@ class DeriveResult:
     ``worlds_derived`` counts the worlds appended to the child pool by
     this call; ``worlds_repaired`` the subset whose labels needed
     repair (a touched edge's presence flipped there);
-    ``columns_resampled`` the per-block count of regenerated edge
-    columns; ``complete`` is False when derivation stopped early (a
-    read or append failed — the remainder cold-samples).
+    ``columns_resampled`` the number of *distinct* edge columns
+    regenerated (the updated + added edges — every derived block
+    resamples the same set, so the count is independent of how many
+    blocks the pool spans, and 0 when no block was derived);
+    ``complete`` is False when derivation stopped early (a read or
+    append failed — the remainder cold-samples).
     """
 
     digest: str
@@ -239,7 +242,7 @@ def derive_pool(
         packed_child = np.zeros((m_child, packed_words(rows)), dtype=np.uint64)
         packed_child[diff.kept_child] = packed_parent[diff.kept_parent]
         flips: list[tuple[int, int, np.ndarray]] = []
-        for p_idx, c_idx in zip(diff.updated_parent, diff.updated_child):
+        for p_idx, c_idx in zip(diff.updated_parent, diff.updated_child, strict=True):
             u, v = int(child_src[c_idx]), int(child_dst[c_idx])
             new_bits = sample_edge_column(
                 seed_seq, u, v, float(child_prob[c_idx]), start, rows,
@@ -262,7 +265,9 @@ def derive_pool(
             old_bits = _column_bits(packed_parent[p_idx], rows)
             if old_bits.any():
                 flips.append((int(parent_src[p_idx]), int(parent_dst[p_idx]), old_bits))
-        resampled += len(diff.updated_child) + len(diff.added_child)
+        # Distinct columns, not a per-block accumulation: each block
+        # regenerates the same updated + added columns.
+        resampled = len(diff.updated_child) + len(diff.added_child)
 
         if flips:
             flip_matrix = np.stack([flip for _, _, flip in flips])  # (t, rows)
@@ -270,10 +275,9 @@ def derive_pool(
             labels_child = np.array(labels_parent)  # copy; reads may be views
             if len(affected_worlds):
                 old = np.ascontiguousarray(labels_parent[affected_worlds])
-                masks_child = unpack_mask_columns(packed_child, rows)[affected_worlds]
                 labels_child[affected_worlds] = _relabel_affected(
-                    resolved, child_graph, masks_child, old,
-                    flips, flip_matrix[:, affected_worlds],
+                    resolved, child_graph, packed_child, rows, affected_worlds,
+                    old, flips, flip_matrix[:, affected_worlds],
                 )
                 repaired += len(affected_worlds)
         else:
@@ -286,14 +290,23 @@ def derive_pool(
     return DeriveResult(child_digest, available, derived, repaired, resampled, True)
 
 
-def _relabel_affected(backend, graph, masks, old_labels, flips, flip_matrix):
+def _relabel_affected(
+    backend, graph, packed_cols, rows, affected_worlds, old_labels, flips, flip_matrix
+):
     """New labels for the affected worlds, via the cheapest sound path."""
     repair = getattr(backend, "repair_labels", None)
     if repair is None or len(flips) > _REPAIR_TOUCHED_LIMIT:
-        # Custom backends without an incremental path — and deltas so
-        # wide that the membership tensor would dwarf the relabeling —
+        # Backends without an incremental path — and deltas so wide
+        # that the membership tensor would dwarf the relabeling —
         # recompute the affected worlds outright (still only those).
+        packed_labeler = getattr(backend, "component_labels_packed", None)
+        if packed_labeler is not None and len(affected_worlds) == rows:
+            # Every world flipped: hand the derived block to the packed
+            # kernel as-is, no boolean round-trip.
+            return packed_labeler(graph, packed_cols, rows)
+        masks = unpack_mask_columns(packed_cols, rows)[affected_worlds]
         return backend.component_labels(graph, masks)
+    masks = unpack_mask_columns(packed_cols, rows)[affected_worlds]
     endpoints = np.array([[u, v] for u, v, _ in flips])  # (t, 2)
     flipped_here = flip_matrix.T  # (worlds, t)
     target_u = np.where(flipped_here, old_labels[:, endpoints[:, 0]], -1)

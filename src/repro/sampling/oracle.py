@@ -51,7 +51,7 @@ from repro.exceptions import OracleError
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.sampling.backends import WorldBackend, resolve_backend
 from repro.sampling.parallel import ParallelSampler, ensure_seed_sequence
-from repro.sampling.store import WorldStore, pack_mask_columns, unpack_mask_columns
+from repro.sampling.store import WorldStore, unpack_mask_columns
 from repro.sampling.worlds import (
     block_bfs_reached,
     world_block_csr,
@@ -253,8 +253,12 @@ class MonteCarloOracle:
                 packed = None  # masks stay in the store until a depth query
                 self._worlds_cached += labels.shape[0]
             else:
-                masks, labels = self._sampler.sample_chunk(self._seed_seq, start, count)
-                packed = pack_mask_columns(masks)
+                # The sampler packs the chunk columnar for the store and
+                # pool either way; packed-capable backends (bitparallel)
+                # also label straight from the packed words.
+                packed, labels = self._sampler.sample_chunk_packed(
+                    self._seed_seq, start, count
+                )
                 self._worlds_sampled += count
                 if self._store is not None:
                     self._store.append(self._pool_digest, start, packed, labels)
@@ -324,8 +328,9 @@ class MonteCarloOracle:
             try:
                 packed, _labels = self._store.read(self._pool_digest, start, start + rows)
             except (OSError, ValueError, OracleError):
-                masks, _labels = self._sampler.sample_chunk(self._seed_seq, start, rows)
-                packed = pack_mask_columns(masks)
+                packed, _labels = self._sampler.sample_chunk_packed(
+                    self._seed_seq, start, rows
+                )
             self._packed_chunks[index] = packed
         return unpack_mask_columns(packed, rows)
 

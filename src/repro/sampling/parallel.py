@@ -60,6 +60,7 @@ import numpy as np
 from repro.exceptions import OracleError
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.sampling.backends import BACKENDS, WorldBackend, resolve_backend
+from repro.sampling.store import pack_mask_columns
 from repro.utils.rng import ensure_seed_sequence
 
 __all__ = [
@@ -471,6 +472,46 @@ class ParallelSampler:
                 except Exception as error:
                     self._mark_broken(error)
         return self._sample_serial(root, start, count)
+
+    def sample_chunk_packed(
+        self, root: np.random.SeedSequence, start: int, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Packed columns and labels of pool worlds ``[start, start + count)``.
+
+        Returns ``(packed_cols, labels)`` where ``packed_cols`` is the
+        store's edge-major ``(m, packed_words(count))`` ``uint64`` form
+        (:func:`repro.sampling.store.pack_mask_columns`).  When the
+        backend implements the packed fast path
+        (``component_labels_packed``, see
+        :mod:`repro.sampling.backends.base`) the chunk is packed once
+        and labeled straight from the words — no boolean round-trip
+        between packing and labeling; otherwise this is
+        :meth:`sample_chunk` plus a pack.  Bit-identical either way.
+        """
+        packed_labeler = getattr(self._backend, "component_labels_packed", None)
+        if packed_labeler is None or (
+            count >= 2 * self._shard_worlds and self._parallelizable()
+        ):
+            masks, labels = self.sample_chunk(root, start, count)
+            return pack_mask_columns(masks), labels
+        root_key = (root.entropy, tuple(root.spawn_key))
+        if root_key != self._edge_states_root:
+            self._edge_states = {}
+            self._edge_states_root = root_key
+        masks = sample_mask_rows(
+            self._graph.edge_src,
+            self._graph.edge_dst,
+            self._graph.edge_prob,
+            root,
+            start,
+            count,
+            state_cache=self._edge_states,
+        )
+        packed = pack_mask_columns(masks)
+        # One packed labeling call per chunk (mirrors the serial boolean
+        # path), so instrumented packed backends observe the same
+        # progressive-sampling growth steps.
+        return packed, packed_labeler(self._graph, packed, count)
 
     def _sample_serial(self, root, start, count) -> tuple[np.ndarray, np.ndarray]:
         root_key = (root.entropy, tuple(root.spawn_key))

@@ -333,7 +333,7 @@ class _MemoryPool:
             return _empty_cols(self.meta), _empty_labels(self.meta)
         offset = 0
         bool_slices, label_slices = [], []
-        for packed_cols, labels in zip(self.packed_parts, self.label_parts):
+        for packed_cols, labels in zip(self.packed_parts, self.label_parts, strict=True):
             rows = labels.shape[0]
             lo = max(start - offset, 0)
             hi = min(stop - offset, rows)

@@ -151,10 +151,18 @@ class OracleCache:
                 self._pinned[digest] -= 1
                 if self._pinned[digest] <= 0:
                     del self._pinned[digest]
-                first_touch = digest not in self._recency
-                self._recency[digest] = None
-                self._recency.move_to_end(digest)
                 self._leases += 1
+                # A lease whose oracle never attached (construction
+                # raised before the pool was registered) must not enter
+                # the LRU: recording it would accumulate junk digests
+                # from bad requests until a budget trip, and its
+                # ``first_touch`` would trigger a pointless store
+                # rescan.
+                first_touch = False
+                if oracle is not None:
+                    first_touch = digest not in self._recency
+                    self._recency[digest] = None
+                    self._recency.move_to_end(digest)
                 self._worlds_cached += stats["worlds_cached"]
                 self._worlds_sampled += stats["worlds_sampled"]
                 if stats["worlds_sampled"] == 0 and stats["worlds_cached"] > 0:
@@ -212,6 +220,14 @@ class OracleCache:
                 return
 
     def _pool_bytes(self) -> dict[str, int]:
+        """Per-pool byte sizes from the store.
+
+        Lock ordering: callers hold the cache lock, and ``store.info()``
+        takes the store's own lock — so the ordering is always *cache
+        lock → store lock*.  The store never calls back into the cache,
+        which keeps the ordering acyclic (no deadlock); never take the
+        cache lock from code the store can invoke.
+        """
         return {
             pool.digest: pool.mask_bytes + pool.label_bytes
             for pool in self._store.info()
@@ -220,12 +236,15 @@ class OracleCache:
     def _enforce_budget(self) -> None:
         """Evict LRU unpinned pools until the byte budget is met.
 
-        Victim selection *and* the store clears happen under the cache
-        lock: a lease pinning between the two would otherwise race the
-        clear and lose its registered pool mid-computation.
+        The size snapshot, victim selection *and* the store clears all
+        happen under the cache lock.  Snapshotting outside it (the old
+        behavior) let a lease register and grow a pool between snapshot
+        and eviction: the new pool escaped the total, and eviction
+        mis-subtracted the stale size of any concurrently-grown pool,
+        leaving the budget silently overshot.
         """
-        sizes = self._pool_bytes()
         with self._lock:
+            sizes = self._pool_bytes()
             total = sum(sizes.values())
             if total <= self._max_bytes:
                 return
@@ -251,10 +270,12 @@ class OracleCache:
 
         ``leases`` counts completed leases, ``warm_leases`` the subset
         that sampled nothing new; ``bytes`` is the current pool
-        footprint (packed masks + labels) against ``max_bytes``.
+        footprint (packed masks + labels) against ``max_bytes``.  The
+        snapshot is taken under the cache lock so the byte total and
+        the counters describe one consistent instant.
         """
-        sizes = self._pool_bytes()
         with self._lock:
+            sizes = self._pool_bytes()
             return {
                 "pools": len(sizes),
                 "bytes": sum(sizes.values()),

@@ -77,10 +77,10 @@ class TextTable:
         if self.title:
             lines.append(f"### {self.title}")
             lines.append("")
-        lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(header, widths)) + " |")
+        lines.append("| " + " | ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)) + " |")
         lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
         for r in body:
-            lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(r, widths)) + " |")
+            lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(r, widths, strict=True)) + " |")
         return "\n".join(lines)
 
     def __str__(self) -> str:

@@ -62,7 +62,7 @@ class TestOptimalAvgProb:
 
     def test_monotone_in_k(self, oracle):
         values = [optimal_avg_prob(oracle, k)[0] for k in (1, 2, 3, 4)]
-        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:], strict=False))
 
 
 class TestOptimalClustering:

@@ -123,7 +123,7 @@ class TestComponentLabels:
         labels_uf = uf.labels()
         # Same partition (labels may be permuted).
         mapping = {}
-        for a, b in zip(labels_scipy.tolist(), labels_uf.tolist()):
+        for a, b in zip(labels_scipy.tolist(), labels_uf.tolist(), strict=True):
             assert mapping.setdefault(a, b) == b
 
 

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.ppi import collins_like, gavin_like, krogan_like
+from repro.exceptions import GraphValidationError
 
 
 @pytest.fixture(scope="module")
@@ -30,9 +31,9 @@ class TestSizes:
         assert len(np.unique(labels)) == 1
 
     def test_invalid_scale(self):
-        with pytest.raises(Exception):
+        with pytest.raises(GraphValidationError):
             krogan_like(scale=0.0)
-        with pytest.raises(Exception):
+        with pytest.raises(GraphValidationError):
             krogan_like(scale=2.0)
 
     def test_deterministic(self):
@@ -89,7 +90,7 @@ class TestComplexes:
                 member_of[int(node)] = idx
         intra = sum(
             1
-            for u, v in zip(graph.edge_src, graph.edge_dst)
+            for u, v in zip(graph.edge_src, graph.edge_dst, strict=True)
             if member_of.get(int(u)) is not None
             and member_of.get(int(u)) == member_of.get(int(v))
         )
@@ -104,7 +105,7 @@ class TestComplexes:
             for node in members:
                 member_of[int(node)] = idx
         intra_probs, cross_probs = [], []
-        for u, v, p in zip(graph.edge_src, graph.edge_dst, graph.edge_prob):
+        for u, v, p in zip(graph.edge_src, graph.edge_dst, graph.edge_prob, strict=True):
             if member_of.get(int(u)) is not None and member_of.get(int(u)) == member_of.get(int(v)):
                 intra_probs.append(p)
             else:

@@ -75,7 +75,7 @@ class TestPlantedPartition:
         graph, membership = planted_partition(
             60, 3, intra_prob=(0.8, 0.9), inter_prob=(0.1, 0.2), seed=2
         )
-        for u, v, p in zip(graph.edge_src, graph.edge_dst, graph.edge_prob):
+        for u, v, p in zip(graph.edge_src, graph.edge_dst, graph.edge_prob, strict=True):
             if membership[u] == membership[v]:
                 assert 0.8 <= p <= 0.9
             else:

@@ -25,7 +25,11 @@ import pytest
 from repro.exceptions import GraphValidationError
 from repro.graph.delta import EdgeOp, GraphDelta
 from repro.graph.uncertain_graph import UncertainGraph
-from repro.sampling.backends import ScipyWorldBackend, UnionFindWorldBackend
+from repro.sampling.backends import (
+    BitParallelWorldBackend,
+    ScipyWorldBackend,
+    UnionFindWorldBackend,
+)
 from repro.sampling.deltas import derive_pool, diff_edges
 from repro.sampling.oracle import MonteCarloOracle
 from repro.sampling.parallel import sample_mask_rows
@@ -38,7 +42,7 @@ from repro.service.cache import OracleCache
 from repro.utils.rng import ensure_seed_sequence
 from tests.conftest import random_graph
 
-BACKENDS = ("scipy", "unionfind")
+BACKENDS = ("scipy", "unionfind", "bitparallel")
 
 
 @pytest.fixture
@@ -199,8 +203,12 @@ class TestDiffEdges:
 
 
 class TestRepairLabels:
+    @pytest.mark.parametrize(
+        "incremental", [UnionFindWorldBackend, BitParallelWorldBackend],
+        ids=lambda b: b.name,
+    )
     @pytest.mark.parametrize("trial", range(5))
-    def test_repair_matches_full_relabel(self, trial):
+    def test_repair_matches_full_relabel(self, trial, incremental):
         rng = np.random.default_rng(100 + trial)
         graph = random_graph(40, 0.12, rng, prob_low=0.2, prob_high=0.9)
         root = ensure_seed_sequence(trial)
@@ -208,7 +216,7 @@ class TestRepairLabels:
             graph.edge_src, graph.edge_dst, graph.edge_prob, root, 0, 48
         )
         scipy_backend = ScipyWorldBackend()
-        uf = UnionFindWorldBackend()
+        uf = incremental()
         old_labels = scipy_backend.component_labels(graph, old_masks)
         # Flip a handful of random edge instances to simulate a delta.
         new_masks = old_masks.copy()
@@ -307,6 +315,26 @@ class TestDerivePool:
         assert result.columns_resampled == 1  # only the touched column
         # A +0.05 probability bump flips ~5% of worlds, never all of them.
         assert 0 < result.worlds_repaired < 256
+
+    def test_columns_resampled_counts_distinct_columns_not_blocks(self, graph):
+        """``columns_resampled`` must not scale with the block count.
+
+        Every derived block resamples the *same* touched columns, so the
+        counter reports distinct columns.  The old accumulate-per-block
+        bug would report ``touched * n_blocks`` (here 2 * 3 = 6).
+        """
+        store = WorldStore()
+        with MonteCarloOracle(graph, seed=5, chunk_size=64, store=store) as oracle:
+            oracle.ensure_samples(192)  # three 64-world blocks
+        u, v, p = graph.edge_list()[0]
+        mutated, _ = graph.update_edge(u, v, min(1.0, p + 0.05))
+        for a in range(graph.n_nodes):
+            if not mutated.has_edge(a, (a + 7) % graph.n_nodes):
+                mutated, _ = mutated.add_edge(a, (a + 7) % graph.n_nodes, 0.3)
+                break
+        result = derive_pool(store, graph, mutated, seed=5, chunk_size=64)
+        assert result.complete and result.worlds_derived == 192
+        assert result.columns_resampled == 2  # one update + one add, 3 blocks
 
     def test_no_parent_pool_returns_none(self, graph):
         store = WorldStore()

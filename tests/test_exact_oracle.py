@@ -89,7 +89,7 @@ class TestExactDepthLimited:
         values = [
             two_triangles_oracle.connection(0, 5, depth=d) for d in (1, 2, 3, 4)
         ]
-        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:], strict=False))
         assert values[-1] <= two_triangles_oracle.connection(0, 5) + 1e-12
 
     def test_depth_at_least_diameter_equals_unbounded(self, path4):

@@ -53,7 +53,7 @@ class TestQualitySuite:
         by_k = {}
         for record in tiny_suite.records:
             by_k.setdefault(record.k, {})[record.algorithm] = record
-        for k, records in by_k.items():
+        for _k, records in by_k.items():
             if len(records) < 4:
                 continue
             mcp_pmin = records["mcp"].pmin

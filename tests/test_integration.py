@@ -78,7 +78,7 @@ class TestSharedOracle:
         oracle.ensure_samples(2000)
         result = mcp_clustering(None, 2, oracle=oracle, seed=1)
         # The most reliable source of each cluster should sit in it.
-        for cluster_id, members in enumerate(result.clustering.clusters()):
+        for members in result.clustering.clusters():
             hub, _ = most_reliable_source(oracle, candidates=members, targets=members)
             assert hub in members.tolist()
 

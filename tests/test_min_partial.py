@@ -56,7 +56,9 @@ class TestBasicInvariants:
                 continue
             best = max(
                 range(len(centers)),
-                key=lambda i: two_triangles_oracle.connection(int(centers[i]), int(node)),
+                key=lambda i, node=node: two_triangles_oracle.connection(
+                    int(centers[i]), int(node)
+                ),
             )
             assert clustering.assignment[node] == best
 

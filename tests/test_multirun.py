@@ -33,7 +33,7 @@ class TestAggregation:
         by_rank: dict = {}
         for cell in cells:
             by_rank.setdefault(cell.k_rank, {})[cell.algorithm] = cell
-        for rank, algorithms in by_rank.items():
+        for _rank, algorithms in by_rank.items():
             if len(algorithms) < 4:
                 continue
             assert (

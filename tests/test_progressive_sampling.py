@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.mcp import mcp_clustering
 from repro.sampling import MonteCarloOracle
-from repro.sampling.backends import ScipyWorldBackend
+from repro.sampling.backends import BitParallelWorldBackend, ScipyWorldBackend
 
 
 class CountingBackend:
@@ -32,9 +32,25 @@ class CountingBackend:
         return self._inner.component_labels(graph, masks)
 
 
-@pytest.fixture
-def spy():
-    return CountingBackend()
+class CountingPackedBackend(CountingBackend):
+    """Spy over the packed fast path: the sampler must route every
+    growth chunk through ``component_labels_packed`` (one call per
+    chunk, same sizes as the boolean path) when the backend offers it."""
+
+    name = "counting-packed"
+
+    def __init__(self):
+        super().__init__()
+        self._inner = BitParallelWorldBackend()
+
+    def component_labels_packed(self, graph, packed_cols, n_worlds):
+        self.calls.append(n_worlds)
+        return self._inner.component_labels_packed(graph, packed_cols, n_worlds)
+
+
+@pytest.fixture(params=[CountingBackend, CountingPackedBackend])
+def spy(request):
+    return request.param()
 
 
 class TestEnsureSamplesNeverRelabels:
@@ -77,7 +93,7 @@ class TestHistorySampleCounts:
         result = mcp_clustering(two_triangles, 2, seed=1, chunk_size=32)
         samples = [guess.samples for guess in result.history]
         assert samples, "history must record every min-partial invocation"
-        assert all(a <= b for a, b in zip(samples, samples[1:]))
+        assert all(a <= b for a, b in zip(samples, samples[1:], strict=False))
         assert result.samples_used == samples[-1]
 
     def test_mcp_history_monotone_even_when_partial(self, two_triangles):
@@ -89,4 +105,4 @@ class TestHistorySampleCounts:
         )
         assert not result.covers_all
         samples = [guess.samples for guess in result.history]
-        assert all(a <= b for a, b in zip(samples, samples[1:]))
+        assert all(a <= b for a, b in zip(samples, samples[1:], strict=False))

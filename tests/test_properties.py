@@ -33,7 +33,7 @@ def uncertain_graphs(draw, max_nodes=MAX_NODES, max_edges=12):
             st.floats(0.05, 1.0, allow_nan=False), min_size=count, max_size=count
         )
     )
-    edges = [(pairs[i][0], pairs[i][1], p) for i, p in zip(indices, probs)]
+    edges = [(pairs[i][0], pairs[i][1], p) for i, p in zip(indices, probs, strict=True)]
     return UncertainGraph.from_edges(edges, nodes=range(n))
 
 
@@ -99,7 +99,7 @@ class TestOracleProperties:
     @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     def test_probability_one_edges_always_connected(self, graph):
         oracle = ExactOracle(graph)
-        for u, v, p in zip(graph.edge_src, graph.edge_dst, graph.edge_prob):
+        for u, v, p in zip(graph.edge_src, graph.edge_dst, graph.edge_prob, strict=True):
             if p == 1.0:
                 # World probabilities are accumulated in floating point,
                 # so "certain" sums land within an ulp of 1.

@@ -31,7 +31,7 @@ class TestTranscriptionConsistency:
             assert pmin <= PAPER_PAVG[key] + 1e-9, key
 
     def test_table2_rates_valid(self):
-        for (algorithm, depth), (tpr, fpr) in PAPER_TABLE2.items():
+        for (algorithm, _depth), (tpr, fpr) in PAPER_TABLE2.items():
             assert 0.0 <= tpr <= 1.0
             assert 0.0 <= fpr <= 1.0
             assert algorithm in ("mcp", "acp", "mcl", "kpt")

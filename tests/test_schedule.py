@@ -18,11 +18,11 @@ class TestGeometric:
 
     def test_strictly_decreasing(self):
         guesses = geometric_guesses(0.1, 1e-3)
-        assert all(a > b for a, b in zip(guesses, guesses[1:]))
+        assert all(a > b for a, b in zip(guesses, guesses[1:], strict=False))
 
     def test_ratio_is_one_plus_gamma(self):
         guesses = geometric_guesses(0.25, 0.1)
-        for a, b in zip(guesses[:-2], guesses[1:-1]):
+        for a, b in zip(guesses[:-2], guesses[1:-1], strict=True):
             assert a / b == pytest.approx(1.25)
 
     def test_ends_at_p_lower(self):
@@ -52,7 +52,7 @@ class TestDoubling:
 
     def test_strictly_decreasing(self):
         guesses = doubling_guesses(0.3, 1e-4)
-        assert all(a > b for a, b in zip(guesses, guesses[1:]))
+        assert all(a > b for a, b in zip(guesses, guesses[1:], strict=False))
 
     def test_short_for_large_gamma(self):
         # Doubling reaches the floor in O(log(1/gamma)) steps.

@@ -714,6 +714,80 @@ class TestOracleCacheEviction:
         assert cache.stats()["pools"] == 0
 
 
+class TestOracleCacheAccounting:
+    """Regression pins for the byte-accounting and recency bookkeeping."""
+
+    def test_size_snapshots_taken_under_cache_lock(self):
+        from repro.service.cache import OracleCache
+
+        cache = OracleCache(max_bytes=1024)
+        locked_during_snapshot = []
+        original = cache._pool_bytes
+
+        def spying_pool_bytes():
+            locked_during_snapshot.append(cache._lock.locked())
+            return original()
+
+        cache._pool_bytes = spying_pool_bytes
+        cache._enforce_budget()
+        cache.stats()
+        # Both paths used to snapshot before taking the lock, letting a
+        # registering lease grow a pool between snapshot and eviction.
+        assert locked_during_snapshot == [True, True]
+
+    def test_budget_race_with_registering_lease(self):
+        """_enforce_budget racing a lease that is registering its pool.
+
+        The old lock-free snapshot could mis-subtract stale sizes and
+        leave the budget silently overshot; under the fix, concurrent
+        enforcement is linearized and the final footprint lands within
+        budget once all leases drain.
+        """
+        import threading
+
+        from repro.service.cache import OracleCache
+
+        graph = _toy_graph()
+        cache = OracleCache(max_bytes=10 * 1024)  # ~one 256-world pool
+        errors = []
+
+        def churn(seed: int):
+            try:
+                for _ in range(5):
+                    with cache.lease(graph, seed=seed) as oracle:
+                        oracle.ensure_samples(256)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(s,)) for s in range(3)]
+        for t in threads:
+            t.start()
+        for _ in range(50):
+            cache._enforce_budget()
+            cache.stats()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.stats()["bytes"] <= 10 * 1024
+
+    def test_failed_construction_leaves_no_recency_entry(self):
+        from repro.service.cache import OracleCache
+
+        graph = _toy_graph()
+        cache = OracleCache(max_bytes=1 << 20)
+        with pytest.raises(ValueError):
+            with cache.lease(graph, seed=0, max_samples=0):
+                pass  # pragma: no cover - construction raises
+        # The failed lease must not enter the LRU or trip enforcement:
+        # its digest was never registered in the store.
+        assert len(cache._recency) == 0
+        assert cache.stats()["leases"] == 1
+        # A later healthy lease with the same key starts cold but clean.
+        with cache.lease(graph, seed=0) as oracle:
+            oracle.ensure_samples(64)
+        assert len(cache._recency) == 1
+
+
 class TestGraphMutation:
     """PATCH /graphs/{name}/edges: revisions, coalescing, warm derivation."""
 

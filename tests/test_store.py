@@ -394,7 +394,7 @@ class TestDiskPersistence:
             masks = np.concatenate(
                 [
                     unpack_mask_columns(cols, lab.shape[0])
-                    for cols, lab in zip(b._packed_chunks, b._label_chunks)
+                    for cols, lab in zip(b._packed_chunks, b._label_chunks, strict=True)
                 ]
             )
             labels = b.component_labels

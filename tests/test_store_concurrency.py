@@ -115,7 +115,7 @@ def test_concurrent_mixed_size_requests(graph, tmp_path):
     reference = MonteCarloOracle(graph, seed=11)
     reference.ensure_samples(max(sizes))
     expected = reference.component_labels
-    for size, labels in zip(sizes, results):
+    for size, labels in zip(sizes, results, strict=True):
         assert labels.shape[0] == size
         assert np.array_equal(labels, expected[:size])
     (pool,) = store.info()

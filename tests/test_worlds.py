@@ -55,7 +55,7 @@ class TestWorldLabels:
             )
             # Same partition up to label permutation.
             mapping = {}
-            for a, b in zip(labels[i].tolist(), expected.tolist()):
+            for a, b in zip(labels[i].tolist(), expected.tolist(), strict=True):
                 assert mapping.setdefault(a, b) == b
 
     def test_empty_batch(self, two_triangles):
