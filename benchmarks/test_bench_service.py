@@ -9,7 +9,11 @@ exists for, recording each into the durable artifact:
 * ``job/mcp/warm`` — the identical job repeated, served from the
   cached pool with **zero** new sampling (asserted, not just timed);
 * ``estimate/sustained`` — sustained reliability-estimate throughput
-  over keep-alive connections against the warm pool.
+  over keep-alive connections against the warm pool;
+* ``job/mixed/workersN`` — mixed cold/warm/mutate job throughput with
+  N spawned worker *processes* over one shared on-disk world store
+  (the throughput-vs-workers scaling cells; a 1-core CI box cannot
+  show real scaling, so the gate only guards against regression).
 
 The same cells can be produced against a *remote* server with
 ``repro bench-serve`` — the CI smoke job does exactly that; this suite
@@ -26,7 +30,7 @@ import pytest
 
 from benchmarks.record import record_benchmark
 from repro.service import BackgroundServer, ClusterService
-from repro.service.loadgen import ServiceClient, run_job
+from repro.service.loadgen import ServiceClient, run_job, run_mixed_load
 
 # k=2 on the krogan-like graph forces the threshold schedule well below
 # the first guess, so the cold job genuinely samples (the warm/cold gap
@@ -118,3 +122,59 @@ def test_sustained_estimates(server):
             "latency_p50_s": sorted(latencies)[len(latencies) // 2],
         },
     )
+
+
+MIXED_JOBS = 8
+MIXED_CONCURRENCY = 2
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_mixed_load_scaling_process_workers(krogan_tiny, tmp_path, workers):
+    service = ClusterService(
+        datasets=(), worker_processes=workers, world_cache=tmp_path / "worlds",
+    )
+    service.graphs.register_graph("bench", krogan_tiny.graph, source="krogan_tiny")
+    with BackgroundServer(service) as running:
+        result = asyncio.run(run_mixed_load(
+            f"http://127.0.0.1:{running.port}", graph="bench",
+            k=JOB_PARAMS["k"], samples=800,
+            jobs=MIXED_JOBS, concurrency=MIXED_CONCURRENCY,
+        ))
+    assert sum(result["counts"].values()) == MIXED_JOBS
+    assert result["counts"]["warm"] > 0 and result["counts"]["cold"] > 0
+    record_benchmark(
+        "service", f"job/mixed/workers{workers}",
+        seconds=result["seconds"], items=result["jobs"],
+        meta={"workers": workers, "concurrency": result["concurrency"],
+              **result["counts"]},
+    )
+
+
+def test_warm_across_worker_pools_bit_identical(krogan_tiny, tmp_path):
+    """Cross-worker warm pin: a second worker pool over the same store
+    serves the repeat job with zero sampling and identical labels."""
+    params = {"graph": "bench", "algorithm": "mcp", "k": 2, "samples": 800, "seed": 3}
+    results = []
+    for workers in (1, 2):
+        service = ClusterService(
+            datasets=(), worker_processes=workers,
+            world_cache=tmp_path / "worlds",
+        )
+        service.graphs.register_graph("bench", krogan_tiny.graph, source="krogan_tiny")
+        with BackgroundServer(service) as running:
+
+            async def go(port=running.port):
+                client = await ServiceClient("127.0.0.1", port).connect()
+                try:
+                    return await run_job(client, params)
+                finally:
+                    await client.close()
+
+            results.append(asyncio.run(go()))
+    cold, warm = results
+    assert cold["worlds_sampled"] > 0
+    # The second pool's workers never sampled this pool themselves —
+    # the warm hit comes from the shared on-disk store.
+    assert warm["warm"] is True and warm["worlds_sampled"] == 0
+    assert warm["assignment"] == cold["assignment"]
+    assert warm["centers"] == cold["centers"]

@@ -268,6 +268,7 @@ def _cmd_generate(args) -> int:
 def _cmd_serve(args) -> int:
     """Run the async clustering service until shutdown."""
     from repro.service import ClusterService, serve
+    from repro.service.admission import AdmissionControl
 
     preloaded = []
     for spec in args.graph or ():
@@ -275,11 +276,21 @@ def _cmd_serve(args) -> int:
         if not sep:
             name = path.rsplit("/", 1)[-1].removesuffix(".uel")
         preloaded.append((name, path, read_uncertain_graph(path, merge=args.merge)))
+    admission = AdmissionControl(
+        rate_limit=args.rate_limit,
+        max_queued=args.max_queued if args.max_queued > 0 else None,
+        max_jobs_per_client=(
+            args.max_jobs_per_client if args.max_jobs_per_client > 0 else None
+        ),
+    )
     service = ClusterService(
         world_cache=args.world_cache,
         cache_bytes=args.cache_bytes,
-        job_workers=args.workers,
+        job_workers=args.job_threads,
+        worker_processes=args.workers,
         sampling_workers=args.sampling_workers,
+        admission=admission,
+        shutdown_grace_s=args.grace,
         dataset_scale=args.dataset_scale,
     )
     for name, path, graph in preloaded:
@@ -295,10 +306,16 @@ def _cmd_bench_serve(args) -> int:
     """Load-generate against a running service; write BENCH_service.json."""
     import asyncio
 
-    from repro.service.loadgen import run_load, summarize, write_artifact
+    from repro.service.loadgen import (
+        run_burst,
+        run_load,
+        run_mixed_load,
+        summarize,
+        write_artifact,
+    )
 
-    results = asyncio.run(
-        run_load(
+    async def measure():
+        results = await run_load(
             args.url,
             graph=args.graph,
             algorithm=args.algorithm,
@@ -311,11 +328,33 @@ def _cmd_bench_serve(args) -> int:
             u=args.u,
             v=args.v,
         )
-    )
+        if args.mixed_jobs > 0:
+            results["mixed"] = await run_mixed_load(
+                args.url, graph=args.graph, k=args.k, samples=args.samples,
+                seed=args.seed, jobs=args.mixed_jobs,
+                concurrency=args.concurrency, u=args.u, v=args.v,
+            )
+        if args.burst > 0:
+            results["burst"] = await run_burst(
+                args.url, graph=args.graph, count=args.burst, k=args.k,
+                seed=args.seed,
+            )
+        return results
+
+    results = asyncio.run(measure())
     print(summarize(results))
     if args.output:
         write_artifact(results, args.output)
         print(f"wrote {args.output}", file=sys.stderr)
+    if args.require_429:
+        burst = results.get("burst")
+        if not burst or burst["rejected_429"] < 1 or not burst["retry_after_present"]:
+            print(
+                "bench-serve: --require-429 failed: burst produced no 429 "
+                f"with Retry-After ({burst})",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -459,7 +498,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers", type=int, default=2, metavar="N",
-        help="concurrent clustering jobs (executor threads)",
+        help="clustering worker processes; 0 runs jobs on in-process "
+        "executor threads instead (see --job-threads)",
+    )
+    serve.add_argument(
+        "--job-threads", type=int, default=2, metavar="N",
+        help="executor threads for in-process jobs (only with --workers 0)",
+    )
+    serve.add_argument(
+        "--grace", type=float, default=5.0, metavar="SECONDS",
+        help="default drain grace period of POST /v1/shutdown",
+    )
+    serve.add_argument(
+        "--max-queued", type=int, default=64, metavar="N",
+        help="queued-job bound before submissions get 429 + Retry-After "
+        "(0 disables)",
+    )
+    serve.add_argument(
+        "--max-jobs-per-client", type=int, default=32, metavar="N",
+        help="non-terminal jobs one client may hold (0 disables)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help="per-client token-bucket rate limit in requests/second "
+        "(default: unlimited)",
     )
     serve.add_argument(
         "--sampling-workers", type=_parse_workers, default=1, metavar="N|auto",
@@ -501,6 +563,21 @@ def build_parser() -> argparse.ArgumentParser:
                              help="concurrent keep-alive connections")
     bench_serve.add_argument("--u", default="0", help="estimate endpoint node u")
     bench_serve.add_argument("--v", default="1", help="estimate endpoint node v")
+    bench_serve.add_argument(
+        "--mixed-jobs", type=int, default=0, metavar="N",
+        help="also run a mixed cold/warm/mutate phase of N jobs and "
+        "record its throughput",
+    )
+    bench_serve.add_argument(
+        "--burst", type=int, default=0, metavar="N",
+        help="also burst N distinct submissions to probe admission "
+        "control (expects 429s when N exceeds the queue bound)",
+    )
+    bench_serve.add_argument(
+        "--require-429", action="store_true",
+        help="fail unless the --burst phase observed at least one 429 "
+        "with Retry-After",
+    )
     bench_serve.add_argument(
         "-o", "--output", default=None, metavar="PATH",
         help="write a schema-1 BENCH_service.json artifact here",

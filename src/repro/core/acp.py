@@ -85,6 +85,7 @@ def acp_clustering(
     store=None,
     cache_dir=None,
     cancel_check=None,
+    progress=None,
 ) -> ACPResult:
     """Cluster an uncertain graph maximizing average connection probability.
 
@@ -93,9 +94,11 @@ def acp_clustering(
     parallelism and the ``store`` / ``cache_dir`` world-store
     attachment — an MCP run followed by an ACP run with the same
     ``(graph, seed, backend, chunk_size)`` and a shared store reuses
-    one sampled pool, and the ``cancel_check`` cooperative-cancellation
-    hook called before every threshold guess); see the module docstring
-    for the ``mode`` semantics.
+    one sampled pool, the ``cancel_check`` cooperative-cancellation
+    hook called before every threshold guess, and the ``progress``
+    callback invoked after every guess with the JSON-safe dict
+    ``{"q", "samples", "covered", "covers_all"}``); see the module
+    docstring for the ``mode`` semantics.
 
     Examples
     --------
@@ -150,14 +153,16 @@ def acp_clustering(
             depth=depth,
             inner_depth=inner_depth,
         )
-        history.append(
-            GuessRecord(
-                q=q,
-                samples=oracle.num_samples if oracle_is_sampled else 0,
-                covered=result.clustering.n_covered,
-                covers_all=result.covers_all,
-            )
+        record = GuessRecord(
+            q=q,
+            samples=oracle.num_samples if oracle_is_sampled else 0,
+            covered=result.clustering.n_covered,
+            covers_all=result.covers_all,
         )
+        history.append(record)
+        if progress is not None:
+            progress({"q": record.q, "samples": record.samples,
+                      "covered": record.covered, "covers_all": record.covers_all})
         return result
 
     phi_best = -1.0

@@ -95,6 +95,7 @@ def mcp_clustering(
     store=None,
     cache_dir=None,
     cancel_check=None,
+    progress=None,
 ) -> MCPResult:
     """Cluster an uncertain graph maximizing minimum connection probability.
 
@@ -153,6 +154,13 @@ def mcp_clustering(
         :class:`~repro.exceptions.JobCancelledError` — to abort the run
         cooperatively; the exception propagates unchanged.  This is how
         the clustering service cancels jobs running off the event loop.
+    progress:
+        Optional callable invoked after every threshold guess
+        (binary-search probes included) with a JSON-safe dict
+        ``{"q", "samples", "covered", "covers_all"}`` mirroring the
+        :class:`GuessRecord` just appended to the history — the hook
+        the clustering service streams job-progress events from.
+        Exceptions raised by the callback propagate unchanged.
 
     Returns
     -------
@@ -195,14 +203,16 @@ def mcp_clustering(
             rng=rng,
             depth=depth,
         )
-        history.append(
-            GuessRecord(
-                q=q,
-                samples=oracle.num_samples if oracle_is_sampled else 0,
-                covered=result.clustering.n_covered,
-                covers_all=result.covers_all,
-            )
+        record = GuessRecord(
+            q=q,
+            samples=oracle.num_samples if oracle_is_sampled else 0,
+            covered=result.clustering.n_covered,
+            covers_all=result.covers_all,
         )
+        history.append(record)
+        if progress is not None:
+            progress({"q": record.q, "samples": record.samples,
+                      "covered": record.covered, "covers_all": record.covers_all})
         return result
 
     best = None

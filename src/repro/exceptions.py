@@ -60,11 +60,20 @@ class ServiceError(ReproError):
     Carries the HTTP status the service layer should report, so
     handlers can raise one exception type for every client-visible
     failure (unknown graph, malformed body, job not found, ...).
+
+    ``code`` is the machine-readable error code the uniform response
+    envelope reports (``{"error": {"code", "message", "request_id"}}``);
+    when omitted it is derived from the status by the HTTP layer.
+    ``headers`` are extra response headers — admission control uses
+    this to attach ``Retry-After`` to its 429s.
     """
 
-    def __init__(self, message: str, *, status: int = 400):
+    def __init__(self, message: str, *, status: int = 400,
+                 code: str | None = None, headers: dict | None = None):
         super().__init__(message)
         self.status = int(status)
+        self.code = code
+        self.headers = dict(headers) if headers else {}
 
 
 class JobCancelledError(ReproError, RuntimeError):

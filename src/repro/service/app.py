@@ -1,36 +1,48 @@
 """The async clustering service: registry, endpoints, jobs, cache.
 
-:class:`ClusterService` wires the whole pipeline behind an HTTP/JSON
-API (served by :mod:`repro.service.http`):
+:class:`ClusterService` wires the whole pipeline behind a versioned
+HTTP/JSON API (served by :mod:`repro.service.http`).  Canonical routes
+live under ``/v1``; the un-prefixed legacy spellings keep working but
+answer with a ``Deprecation: true`` header (see ``docs/API.md`` for
+the full surface, including status codes and the SSE event schema):
 
-====== ============================== ======================================
-method endpoint                       purpose
-====== ============================== ======================================
-GET    ``/healthz``                   liveness + queue/cache counters
-GET    ``/version``                   package version
-GET    ``/graphs``                    list registered graphs
-PUT    ``/graphs/{name}``             upload a graph (``.uel`` text or JSON)
-GET    ``/graphs/{name}``             graph statistics
-DELETE ``/graphs/{name}``             unregister a graph
-PATCH  ``/graphs/{name}/edges``       mutate edges (add/remove/update)
-GET    ``/graphs/{name}/estimate``    synchronous reliability estimate
-POST   ``/jobs``                      submit a clustering job (202)
-GET    ``/jobs``                      list jobs
-GET    ``/jobs/{id}``                 job status
-GET    ``/jobs/{id}/result``          job result (409 until ``done``)
-DELETE ``/jobs/{id}``                 cancel a job
-GET    ``/cache``                     oracle-cache statistics
-POST   ``/shutdown``                  graceful shutdown
-====== ============================== ======================================
+====== ================================= ======================================
+method endpoint                          purpose
+====== ================================= ======================================
+GET    ``/v1/healthz``                   liveness + queue/cache counters
+GET    ``/v1/version``                   package version
+GET    ``/v1/graphs``                    list registered graphs
+PUT    ``/v1/graphs/{name}``             upload a graph (``.uel`` text or JSON)
+GET    ``/v1/graphs/{name}``             graph statistics
+DELETE ``/v1/graphs/{name}``             unregister a graph
+PATCH  ``/v1/graphs/{name}/edges``       mutate edges (add/remove/update)
+GET    ``/v1/graphs/{name}/estimate``    synchronous reliability estimate
+POST   ``/v1/jobs``                      submit a clustering job (202)
+GET    ``/v1/jobs``                      list jobs (``state``/``limit``/``cursor``)
+GET    ``/v1/jobs/{id}``                 job status
+GET    ``/v1/jobs/{id}/events``          job progress stream (SSE)
+GET    ``/v1/jobs/{id}/result``          job result (409 until ``done``)
+DELETE ``/v1/jobs/{id}``                 cancel a job
+GET    ``/v1/cache``                     oracle-cache statistics
+POST   ``/v1/shutdown``                  drain in-flight jobs, then stop
+====== ================================= ======================================
 
 Cheap queries (estimates, stats) run synchronously — but off the event
-loop, on the default executor.  Clustering jobs go through the
-:class:`~repro.service.jobs.JobQueue` (coalescing, cancellation) and
-their oracles through the :class:`~repro.service.cache.OracleCache`,
-so a warm repeated request samples zero new worlds and returns labels
-bit-identical to the equivalent direct library call — see
-``docs/ARCHITECTURE.md`` for the invariants and
-``tests/test_service.py`` for the pins.
+loop, on the default executor.  Clustering jobs go through a job queue
+(coalescing, cancellation, progress events): the in-process
+:class:`~repro.service.jobs.JobQueue` by default, or — with
+``worker_processes >= 1`` — the
+:class:`~repro.service.workers.ProcessJobQueue`, which dispatches to
+spawned worker processes each holding its own oracle cache over the
+same on-disk world store.  Either way a warm repeated request samples
+zero new worlds and returns labels bit-identical to the equivalent
+direct library call — see ``docs/ARCHITECTURE.md`` for the invariants
+and ``tests/test_service.py`` for the pins.
+
+Admission control (:class:`~repro.service.admission.AdmissionControl`)
+fronts every request: optional per-client token-bucket rate limits,
+queue-depth backpressure, and a per-client jobs-in-flight bound — all
+reported as 429 with ``Retry-After``.
 """
 
 from __future__ import annotations
@@ -46,28 +58,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import __version__
-from repro.baselines.gmm import gmm_clustering
-from repro.baselines.mcl import mcl_clustering
-from repro.core.acp import acp_clustering
-from repro.core.mcp import mcp_clustering
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.exceptions import GraphValidationError, JobCancelledError, ReproError, ServiceError
 from repro.graph.io import parse_uncertain_graph_text, probability_error
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.sampling.backends import BACKEND_NAMES
-from repro.sampling.sizes import PracticalSchedule
 from repro.sampling.store import WorldStore
+from repro.service.admission import AdmissionControl
 from repro.service.cache import OracleCache
-from repro.service.http import HttpServer, Request, Router
-from repro.service.jobs import JobQueue
+from repro.service.http import EventStream, HttpServer, Request, Router, sse_event
+from repro.service.jobs import TERMINAL_STATES, JobQueue, paginate_jobs
+from repro.service.workers import MAX_REQUEST_SAMPLES, ProcessJobQueue, execute_clustering
 
 _JOB_ALGORITHMS = ("mcp", "acp", "mcl", "gmm")
-
-#: Upper bound on request-supplied sample budgets.  This is the
-#: library's default ``max_samples`` oracle guard: letting a request
-#: raise its own cap would turn one HTTP call into an arbitrarily large
-#: uninterruptible sampling run on an executor thread.
-MAX_REQUEST_SAMPLES = 1_000_000
 
 #: Ancestor revisions the registry keeps per graph for pool derivation.
 #: Nearest first; the oracle cache derives from the first one whose
@@ -320,15 +323,28 @@ class ClusterService:
     world_cache:
         Optional directory for a disk-backed
         :class:`~repro.sampling.store.WorldStore`; ``None`` keeps the
-        pool cache purely in memory.
+        pool cache purely in memory.  With worker processes, this is
+        the directory every worker's store shares.
     cache_bytes:
-        LRU byte budget of the oracle cache.
+        LRU byte budget of the oracle cache (per process).
     job_workers:
-        Concurrent clustering jobs (executor threads).
+        Concurrent clustering jobs in thread mode (executor threads).
+    worker_processes:
+        ``0`` (default) executes jobs on the in-process thread queue;
+        ``>= 1`` spawns that many worker processes
+        (:class:`~repro.service.workers.ProcessJobQueue`) and
+        dispatches jobs to them.
     sampling_workers:
         ``workers=`` passed to each oracle (results are bit-identical
         under any value, so it is a deployment knob, not a request
         parameter).
+    admission:
+        The :class:`~repro.service.admission.AdmissionControl` policy;
+        default enables queue-depth and per-client job bounds but no
+        token-bucket rate limit.
+    shutdown_grace_s:
+        Default drain grace of ``POST /v1/shutdown`` (a request body
+        may override it per call).
     datasets:
         Built-in dataset names to pre-register as lazy loaders.
     dataset_scale:
@@ -341,14 +357,30 @@ class ClusterService:
         world_cache=None,
         cache_bytes: int = 256 << 20,
         job_workers: int = 2,
+        worker_processes: int = 0,
         sampling_workers=1,
+        admission: AdmissionControl | None = None,
+        shutdown_grace_s: float = 5.0,
         datasets=DATASET_NAMES,
         dataset_scale: float = 1.0,
     ):
         self.cache = OracleCache(WorldStore(world_cache), max_bytes=cache_bytes)
         self.graphs = GraphRegistry()
-        self.jobs = JobQueue(self._run_job, workers=job_workers)
+        self.worker_processes = int(worker_processes)
+        if self.worker_processes > 0:
+            self.jobs = ProcessJobQueue(
+                workers=self.worker_processes,
+                world_cache=world_cache,
+                cache_bytes=cache_bytes,
+                sampling_workers=sampling_workers,
+            )
+        else:
+            self.jobs = JobQueue(self._run_job, workers=job_workers)
+        self.admission = admission if admission is not None else AdmissionControl()
         self._sampling_workers = sampling_workers
+        self._grace_s = float(shutdown_grace_s)
+        self._draining = False
+        self._drain_task = None
         self._started = time.monotonic()
         self.shutdown_event = asyncio.Event()
         for name in datasets:
@@ -364,33 +396,62 @@ class ClusterService:
         graph, _complexes = load_dataset(name, seed=0, scale=scale)
         return graph
 
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful shutdown drain is in progress."""
+        return self._draining
+
     def close(self) -> None:
-        """Stop the job executor (cancelling queued jobs)."""
+        """Stop the job queue (cancelling outstanding jobs)."""
         self.jobs.shutdown()
 
     # ------------------------------------------------------------------
-    # Routing
+    # Routing and admission
     # ------------------------------------------------------------------
 
     def _build_router(self) -> Router:
-        router = Router()
-        router.add("GET", "/healthz", self._handle_health)
-        router.add("GET", "/version", self._handle_version)
-        router.add("GET", "/graphs", self._handle_graphs_list)
-        router.add("PUT", "/graphs/{name}", self._handle_graph_upload)
-        router.add("POST", "/graphs/{name}", self._handle_graph_upload)
-        router.add("GET", "/graphs/{name}", self._handle_graph_stats)
-        router.add("DELETE", "/graphs/{name}", self._handle_graph_delete)
-        router.add("PATCH", "/graphs/{name}/edges", self._handle_graph_mutate)
-        router.add("GET", "/graphs/{name}/estimate", self._handle_estimate)
-        router.add("POST", "/jobs", self._handle_job_submit)
-        router.add("GET", "/jobs", self._handle_jobs_list)
-        router.add("GET", "/jobs/{id}", self._handle_job_status)
-        router.add("GET", "/jobs/{id}/result", self._handle_job_result)
-        router.add("DELETE", "/jobs/{id}", self._handle_job_cancel)
-        router.add("GET", "/cache", self._handle_cache_stats)
-        router.add("POST", "/shutdown", self._handle_shutdown)
+        router = Router(canonical_prefix="/v1")
+        router.add("GET", "/v1/healthz", self._handle_health)
+        router.add("GET", "/v1/version", self._handle_version)
+        router.add("GET", "/v1/graphs", self._handle_graphs_list)
+        router.add("PUT", "/v1/graphs/{name}", self._handle_graph_upload)
+        router.add("POST", "/v1/graphs/{name}", self._handle_graph_upload)
+        router.add("GET", "/v1/graphs/{name}", self._handle_graph_stats)
+        router.add("DELETE", "/v1/graphs/{name}", self._handle_graph_delete)
+        router.add("PATCH", "/v1/graphs/{name}/edges", self._handle_graph_mutate)
+        router.add("GET", "/v1/graphs/{name}/estimate", self._handle_estimate)
+        router.add("POST", "/v1/jobs", self._handle_job_submit)
+        router.add("GET", "/v1/jobs", self._handle_jobs_list)
+        router.add("GET", "/v1/jobs/{id}", self._handle_job_status)
+        router.add("GET", "/v1/jobs/{id}/events", self._handle_job_events)
+        router.add("GET", "/v1/jobs/{id}/result", self._handle_job_result)
+        router.add("DELETE", "/v1/jobs/{id}", self._handle_job_cancel)
+        router.add("GET", "/v1/cache", self._handle_cache_stats)
+        router.add("POST", "/v1/shutdown", self._handle_shutdown)
         return router
+
+    async def middleware(self, request: Request) -> None:
+        """Pre-routing hook: drain-mode 503s, then admission control.
+
+        Mid-drain the service still answers reads (``GET`` — clients
+        must be able to poll the jobs they are waiting on), job
+        cancellations (they speed the drain), and repeat ``shutdown``
+        calls; everything that would *create* work is rejected 503.
+        """
+        if self._draining:
+            path = request.path
+            unversioned = path[3:] if path.startswith("/v1/") else path
+            allowed = (
+                request.method == "GET"
+                or unversioned == "/shutdown"
+                or (request.method == "DELETE" and unversioned.startswith("/jobs/"))
+            )
+            if not allowed:
+                raise ServiceError(
+                    "service is draining for shutdown", status=503,
+                    code="draining", headers={"Retry-After": "1"},
+                )
+        await self.admission(request)
 
     # ------------------------------------------------------------------
     # Meta endpoints
@@ -401,22 +462,53 @@ class ClusterService:
         for job in self.jobs.list():
             states[job.status] = states.get(job.status, 0) + 1
         return 200, {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "version": __version__,
             "uptime_s": time.monotonic() - self._started,
             "graphs": len(self.graphs),
             "jobs": states,
+            "workers": self.jobs.workers,
+            "mode": "process" if self.worker_processes else "thread",
         }
 
     async def _handle_version(self, request: Request):
         return 200, {"version": __version__}
 
     async def _handle_cache_stats(self, request: Request):
+        # With worker processes this reports the front door's cache
+        # (estimates); each worker holds its own, not aggregated here.
         return 200, self.cache.stats()
 
     async def _handle_shutdown(self, request: Request):
+        """``POST /v1/shutdown``: drain in-flight jobs, then stop.
+
+        Optional body ``{"grace_s": seconds}`` overrides the configured
+        grace period.  The first call starts the drain (new work is
+        rejected 503 from that point); repeats report progress.  The
+        server exits once every job is terminal or the grace expires —
+        leftover jobs are then cancelled, never abandoned.
+        """
+        body = request.json()
+        grace = body.get("grace_s", self._grace_s)
+        try:
+            grace = float(grace)
+        except (TypeError, ValueError):
+            raise ServiceError(f"grace_s must be a number, got {grace!r}") from None
+        if grace < 0:
+            raise ServiceError(f"grace_s must be >= 0, got {grace}")
+        active = self.jobs.active_count()
+        if not self._draining:
+            self._draining = True
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain_then_stop(grace)
+            )
+        return 202, {"status": "draining", "grace_s": grace, "active_jobs": active}
+
+    async def _drain_then_stop(self, grace_s: float) -> None:
+        deadline = time.monotonic() + grace_s
+        while self.jobs.active_count() > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
         self.shutdown_event.set()
-        return 202, {"status": "shutting down"}
 
     # ------------------------------------------------------------------
     # Graph endpoints
@@ -486,7 +578,7 @@ class ClusterService:
         return 200, {"name": name, "removed": True}
 
     async def _handle_graph_mutate(self, request: Request):
-        """``PATCH /graphs/{name}/edges``: apply edge mutations.
+        """``PATCH /v1/graphs/{name}/edges``: apply edge mutations.
 
         Body: ``{"ops": [{"op": "add"|"remove"|"update", "u": ...,
         "v": ..., "p": ...}, ...]}`` (or a bare ops list).  The
@@ -643,15 +735,54 @@ class ClusterService:
             None, self.graphs.resolve_with_ancestors, params["graph"]
         )
         job, coalesced = self.jobs.submit(
-            params, key_suffix=f"rev{revision}", context=(graph, ancestors)
+            params, key_suffix=f"rev{revision}", context=(graph, ancestors),
+            client=request.client_key, admit=self.admission.admit_job,
         )
         return 202, {"job": job.id, "status": job.status, "coalesced": coalesced}
 
     async def _handle_jobs_list(self, request: Request):
-        return 200, {"jobs": [job.describe() for job in self.jobs.list()]}
+        """``GET /v1/jobs``: list with ``state``/``limit``/``cursor``."""
+        page, next_cursor = paginate_jobs(
+            self.jobs.list(),
+            state=request.query.get("state"),
+            limit=request.query.get("limit"),
+            cursor=request.query.get("cursor"),
+        )
+        return 200, {
+            "jobs": [job.describe() for job in page],
+            "next_cursor": next_cursor,
+        }
 
     async def _handle_job_status(self, request: Request):
         return 200, self.jobs.get(request.params["id"]).describe()
+
+    async def _handle_job_events(self, request: Request):
+        """``GET /v1/jobs/{id}/events``: stream the job's events as SSE.
+
+        Replays the job's recorded history from the first event, then
+        tails live ones; the stream ends after the terminal event
+        (``done``/``failed``/``cancelled``) is delivered, so a client
+        connecting after completion still receives the full record.
+        Each event carries the *stream* request's id.
+        """
+        job = self.jobs.get(request.params["id"])
+        request_id = request.request_id
+
+        async def stream():
+            seq = 0
+            while True:
+                while seq < len(job.events):
+                    record = dict(job.events[seq])
+                    record["job"] = job.id
+                    record["request_id"] = request_id
+                    yield sse_event(record, event=record["event"],
+                                    event_id=record["seq"])
+                    seq += 1
+                    if record["event"] in TERMINAL_STATES:
+                        return
+                await asyncio.sleep(0.05)
+
+        return EventStream(stream())
 
     async def _handle_job_result(self, request: Request):
         job = self.jobs.get(request.params["id"])
@@ -677,67 +808,19 @@ class ClusterService:
             graph, ancestors = job.context, ()
         else:
             graph, _revision, ancestors = self.graphs.resolve_with_ancestors(params["graph"])
-        algorithm = params["algorithm"]
-        started = time.perf_counter()
 
         def cancel_check() -> None:
             if job.cancel_event.is_set():
                 raise JobCancelledError(f"job {job.id} cancelled")
 
-        cancel_check()
-        payload = {"job": job.id, "algorithm": algorithm, "graph": params["graph"]}
-        if algorithm in ("mcp", "acp"):
-            schedule = PracticalSchedule(max_samples=params["samples"])
-            with self.cache.lease(
-                graph,
-                seed=params["seed"],
-                chunk_size=params["chunk_size"],
-                max_samples=MAX_REQUEST_SAMPLES,
-                backend=params["backend"],
-                workers=self._sampling_workers,
-                ancestors=ancestors,
-            ) as oracle:
-                run = mcp_clustering if algorithm == "mcp" else acp_clustering
-                result = run(
-                    None,
-                    params["k"],
-                    oracle=oracle,
-                    seed=params["seed"],
-                    depth=params["depth"],
-                    sample_schedule=schedule,
-                    cancel_check=cancel_check,
-                )
-                stats = oracle.cache_stats
-            clustering = result.clustering
-            payload.update(
-                k=params["k"],
-                seed=params["seed"],
-                q_final=result.q_final,
-                samples_used=result.samples_used,
-                n_guesses=result.n_guesses,
-                worlds_cached=stats["worlds_cached"],
-                worlds_sampled=stats["worlds_sampled"],
-                warm=stats["worlds_sampled"] == 0 and stats["worlds_cached"] > 0,
-                pool_digest=oracle.pool_digest,
-            )
-            if algorithm == "mcp":
-                payload["min_prob"] = result.min_prob_estimate
-                payload["covers_all"] = result.covers_all
-            else:
-                payload["avg_prob"] = result.avg_prob_estimate
-                payload["phi_best"] = result.phi_best
-        elif algorithm == "mcl":
-            result = mcl_clustering(graph, inflation=params["inflation"])
-            clustering = result.clustering
-            payload.update(inflation=params["inflation"], n_clusters=result.n_clusters)
-        else:  # gmm
-            clustering = gmm_clustering(graph, params["k"], seed=params["seed"])
-            payload.update(k=params["k"], seed=params["seed"])
-        cancel_check()
-        payload["assignment"] = np.asarray(clustering.assignment).astype(int).tolist()
-        payload["centers"] = np.asarray(clustering.centers).astype(int).tolist()
-        payload["elapsed_s"] = time.perf_counter() - started
-        return payload
+        def progress(data: dict) -> None:
+            job.add_event("progress", data)
+
+        return execute_clustering(
+            job.id, params, graph, ancestors, self.cache,
+            sampling_workers=self._sampling_workers,
+            cancel_check=cancel_check, progress=progress,
+        )
 
 
 class BackgroundServer:
@@ -745,7 +828,10 @@ class BackgroundServer:
 
     The in-process harness used by the test suite and the service
     benchmark: it owns a private event loop, binds to an ephemeral port
-    by default, and tears everything down on exit.
+    by default, and tears everything down on exit.  The service's
+    shutdown event (set by ``POST /v1/shutdown`` after its drain) stops
+    the loop, so graceful shutdown works here exactly as under
+    :func:`serve`.
 
     Use as a context manager::
 
@@ -784,14 +870,24 @@ class BackgroundServer:
         def run() -> None:
             asyncio.set_event_loop(self._loop)
             try:
-                server = HttpServer(self._service.router, host=self._host, port=self._port)
+                server = HttpServer(
+                    self._service.router, host=self._host, port=self._port,
+                    middleware=self._service.middleware,
+                )
                 self._server = self._loop.run_until_complete(server.start())
             except BaseException as error:  # pragma: no cover - bind failure
                 failure.append(error)
                 started.set()
                 return
             started.set()
+
+            async def watch_shutdown() -> None:
+                await self._service.shutdown_event.wait()
+                self._loop.stop()
+
+            watcher = self._loop.create_task(watch_shutdown())
             self._loop.run_forever()
+            watcher.cancel()
             # Drain: open keep-alive connections hold handler tasks;
             # cancel them before closing the loop or they leak noisily.
             self._loop.run_until_complete(server.close())
@@ -814,7 +910,13 @@ class BackgroundServer:
     def stop(self) -> None:
         """Stop the server, join the thread, shut the job queue down."""
         if self._loop is not None and self._thread is not None:
-            self._loop.call_soon_threadsafe(self._loop.stop)
+            # The loop may already be gone if POST /shutdown drained and
+            # stopped it from inside.
+            if not self._loop.is_closed():
+                try:
+                    self._loop.call_soon_threadsafe(self._loop.stop)
+                except RuntimeError:  # pragma: no cover - closed in between
+                    pass
             self._thread.join(timeout=30)
         self._service.close()
 
@@ -833,9 +935,11 @@ async def serve_async(service: ClusterService, *, host: str = "127.0.0.1",
     :class:`HttpServer` once the socket is listening — the CLI uses it
     to print the address, tests to discover an ephemeral port.
     SIGINT/SIGTERM trigger the same graceful shutdown as
-    ``POST /shutdown``.
+    ``POST /v1/shutdown`` (without the drain — signals mean *stop*).
     """
-    server = await HttpServer(service.router, host=host, port=port).start()
+    server = await HttpServer(
+        service.router, host=host, port=port, middleware=service.middleware
+    ).start()
     loop = asyncio.get_running_loop()
     try:
         import signal

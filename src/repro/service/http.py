@@ -9,27 +9,43 @@ module implements just enough of HTTP/1.1 on top of
 * keep-alive connections (closed on request, protocol error, or
   HTTP/1.0);
 * a :class:`Router` mapping ``METHOD /path/{param}`` templates to
-  async handlers;
-* JSON responses everywhere — handlers return ``(status, payload)``
-  and every error, including a handler crash, is reported as a JSON
-  body ``{"error": ...}`` with the right status code.
+  async handlers, with a *canonical prefix* (``/v1``) and a
+  deprecation shim: legacy un-prefixed paths keep working but every
+  response to one carries a ``Deprecation: true`` header plus a
+  ``Link: </v1/...>; rel="successor-version"`` pointer;
+* a uniform response envelope — every response carries an
+  ``X-Request-Id`` header (generated per request and logged via the
+  ``repro.service`` logger) and every error body has exactly one
+  shape, ``{"error": {"code", "message", "request_id"}}``
+  (:func:`error_payload`);
+* streamed responses: a handler may return an :class:`EventStream`
+  whose chunks (``text/event-stream`` events) are written as they are
+  produced — the job-progress SSE endpoint;
+* an optional async *middleware* hook invoked before routing —
+  admission control (rate limits, drain-mode 503s) plugs in there.
 
 Handlers raise :class:`~repro.exceptions.ServiceError` for
-client-visible failures; the server translates the carried status.
-Everything else is deliberately boring: the interesting parts of the
-service live in :mod:`repro.service.app`.
+client-visible failures; the server translates the carried status,
+error code, and extra headers (e.g. ``Retry-After``).  Everything else
+is deliberately boring: the interesting parts of the service live in
+:mod:`repro.service.app`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import logging
+import os
 import re
 from collections.abc import Awaitable, Callable
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.exceptions import ServiceError
+
+log = logging.getLogger("repro.service")
 
 #: Upper bound on the request head (request line + headers).
 MAX_HEADER_BYTES = 64 * 1024
@@ -48,9 +64,55 @@ _STATUS_REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
+    503: "Service Unavailable",
 }
+
+#: Machine-readable error codes of the uniform envelope, by status.
+ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    409: "conflict",
+    413: "payload_too_large",
+    429: "rate_limited",
+    500: "internal",
+    501: "not_implemented",
+    503: "unavailable",
+}
+
+
+def error_code_for(status: int) -> str:
+    """The envelope ``code`` implied by an HTTP status.
+
+    Examples
+    --------
+    >>> error_code_for(404)
+    'not_found'
+    >>> error_code_for(418)
+    'error'
+    """
+    return ERROR_CODES.get(status, "error")
+
+
+def error_payload(status: int, message: str, *, code: str | None = None,
+                  request_id: str | None = None) -> dict:
+    """The uniform error envelope every non-2xx response carries.
+
+    Examples
+    --------
+    >>> error_payload(404, "no such graph: x", request_id="abc123")
+    {'error': {'code': 'not_found', 'message': 'no such graph: x', 'request_id': 'abc123'}}
+    """
+    return {
+        "error": {
+            "code": code or error_code_for(status),
+            "message": message,
+            "request_id": request_id,
+        }
+    }
 
 
 @dataclass
@@ -59,6 +121,11 @@ class Request:
 
     ``params`` holds the values captured from the route template (e.g.
     ``{name}``) and is filled in by the router, not the parser.
+    ``client`` is the peer address (the admission-control key when no
+    ``X-Client-Id`` header overrides it), ``request_id`` the generated
+    per-request id echoed in the ``X-Request-Id`` response header, and
+    ``deprecated`` whether the request arrived on a legacy
+    (un-versioned) path alias.
     """
 
     method: str
@@ -67,6 +134,18 @@ class Request:
     headers: dict[str, str]
     body: bytes
     params: dict[str, str] = field(default_factory=dict)
+    client: str = ""
+    request_id: str = ""
+    deprecated: bool = False
+
+    @property
+    def client_key(self) -> str:
+        """The admission-control identity of this request.
+
+        The ``X-Client-Id`` header when present (so load balancers and
+        tests can name clients), the peer address otherwise.
+        """
+        return self.headers.get("x-client-id") or self.client or "unknown"
 
     def json(self):
         """Decode the body as JSON, raising a 400 :class:`ServiceError`.
@@ -89,29 +168,99 @@ class Request:
             raise ServiceError(f"body is not valid UTF-8: {error}", status=400) from None
 
 
-Handler = Callable[[Request], Awaitable[tuple[int, object]]]
+@dataclass
+class Response:
+    """A buffered JSON response: status, payload, extra headers."""
+
+    status: int
+    payload: object
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def coerce(cls, result) -> "Response":
+        """Normalize a handler return value.
+
+        Handlers may return a :class:`Response`, ``(status, payload)``,
+        or ``(status, payload, headers)``.
+        """
+        if isinstance(result, cls):
+            return result
+        if isinstance(result, tuple):
+            if len(result) == 2:
+                return cls(result[0], result[1])
+            if len(result) == 3:
+                return cls(result[0], result[1], dict(result[2]))
+        raise TypeError(f"handler returned {result!r}, not a Response or (status, payload[, headers])")
+
+
+class EventStream:
+    """A streamed ``text/event-stream`` response.
+
+    ``chunks`` is an async iterable of ``bytes`` (pre-formatted SSE
+    frames — see :func:`sse_event`); they are written to the socket as
+    they are produced, and the connection is closed when the iterator
+    ends (the stream has no ``Content-Length``, so close *is* the
+    framing).
+    """
+
+    def __init__(self, chunks, *, status: int = 200, headers: dict | None = None):
+        self.status = int(status)
+        self.chunks = chunks
+        self.headers = dict(headers) if headers else {}
+
+
+def sse_event(data, *, event: str | None = None, event_id=None) -> bytes:
+    """Format one server-sent event frame.
+
+    ``data`` is JSON-encoded (compact, sorted keys) so every event is a
+    single ``data:`` line; ``event`` and ``event_id`` become the
+    optional ``event:`` / ``id:`` fields.
+
+    Examples
+    --------
+    >>> sse_event({"q": 0.5}, event="progress", event_id=3)
+    b'id: 3\\nevent: progress\\ndata: {"q":0.5}\\n\\n'
+    """
+    frame = ""
+    if event_id is not None:
+        frame += f"id: {event_id}\n"
+    if event is not None:
+        frame += f"event: {event}\n"
+    frame += "data: " + json.dumps(data, separators=(",", ":"), sort_keys=True) + "\n\n"
+    return frame.encode("utf-8")
+
+
+Handler = Callable[[Request], Awaitable[object]]
 
 
 class Router:
     """Match ``(method, path)`` pairs against ``/path/{param}`` templates.
 
+    With a ``canonical_prefix`` (the service passes ``"/v1"``), routes
+    are registered under their canonical (prefixed) paths and a legacy
+    alias shim keeps the un-prefixed spellings working: a request for
+    ``/graphs/x`` resolves to the ``/v1/graphs/x`` handler with
+    ``request.deprecated`` set, which the server surfaces as a
+    ``Deprecation: true`` response header.
+
     Examples
     --------
     >>> import asyncio
-    >>> router = Router()
+    >>> router = Router(canonical_prefix="/v1")
     >>> async def show(request):
     ...     return 200, {"graph": request.params["name"]}
-    >>> router.add("GET", "/graphs/{name}", show)
+    >>> router.add("GET", "/v1/graphs/{name}", show)
     >>> request = Request("GET", "/graphs/toy", {}, {}, b"")
     >>> handler = router.resolve(request)
+    >>> request.deprecated, request.params
+    (True, {'name': 'toy'})
     >>> asyncio.run(handler(request))
     (200, {'graph': 'toy'})
-    >>> request.params
-    {'name': 'toy'}
     """
 
-    def __init__(self):
+    def __init__(self, *, canonical_prefix: str | None = None):
         self._routes: list[tuple[str, re.Pattern, Handler]] = []
+        self._prefix = canonical_prefix
 
     def add(self, method: str, template: str, handler: Handler) -> None:
         """Register ``handler`` for ``method`` requests matching ``template``.
@@ -122,27 +271,49 @@ class Router:
         pattern = _PARAM_RE.sub(r"(?P<\1>[^/]+)", re.escape(template).replace(r"\{", "{").replace(r"\}", "}"))
         self._routes.append((method.upper(), re.compile(f"^{pattern}$"), handler))
 
+    def _match(self, method: str, path: str):
+        """``(handler, params, path_known)`` for an exact path match."""
+        path_known = False
+        for route_method, pattern, handler in self._routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            path_known = True
+            if route_method == method:
+                return handler, match.groupdict(), True
+        return None, None, path_known
+
     def resolve(self, request: Request) -> Handler:
         """Return the handler for ``request``, filling ``request.params``.
 
         Raises a 404 :class:`ServiceError` for an unknown path and a 405
-        for a known path requested with the wrong method.
+        for a known path requested with the wrong method.  Legacy
+        (un-prefixed) aliases of canonical routes resolve with
+        ``request.deprecated`` set.
         """
-        path_known = False
-        for method, pattern, handler in self._routes:
-            match = pattern.match(request.path)
-            if match is None:
-                continue
-            path_known = True
-            if method == request.method:
-                request.params = match.groupdict()
-                return handler
+        handler, params, path_known = self._match(request.method, request.path)
+        if handler is None and self._prefix and not request.path.startswith(self._prefix + "/"):
+            aliased, alias_params, alias_known = self._match(
+                request.method, self._prefix + request.path
+            )
+            if aliased is not None:
+                request.deprecated = True
+                request.params = alias_params
+                return aliased
+            path_known = path_known or alias_known
+        if handler is not None:
+            request.params = params
+            return handler
         if path_known:
             raise ServiceError(f"method {request.method} not allowed for {request.path}", status=405)
         raise ServiceError(f"no such endpoint: {request.path}", status=404)
 
 
-def json_response(status: int, payload) -> bytes:
+def _serialize_headers(headers: dict[str, str]) -> str:
+    return "".join(f"{name}: {value}\r\n" for name, value in headers.items())
+
+
+def json_response(status: int, payload, headers: dict[str, str] | None = None) -> bytes:
     """Serialize one complete HTTP/1.1 response with a JSON body."""
     body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
     reason = _STATUS_REASONS.get(status, "OK")
@@ -150,9 +321,27 @@ def json_response(status: int, payload) -> bytes:
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
-        f"Connection: keep-alive\r\n\r\n"
+        + _serialize_headers(headers or {})
+        + "Connection: keep-alive\r\n\r\n"
     )
-    return head.encode("ascii") + body
+    return head.encode("latin-1") + body
+
+
+def stream_head(status: int, headers: dict[str, str] | None = None) -> bytes:
+    """The response head of a streamed ``text/event-stream`` response.
+
+    No ``Content-Length``: the stream ends when the connection closes,
+    which is why the head pins ``Connection: close``.
+    """
+    reason = _STATUS_REASONS.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: text/event-stream\r\n"
+        f"Cache-Control: no-cache\r\n"
+        + _serialize_headers(headers or {})
+        + "Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1")
 
 
 class _ProtocolError(Exception):
@@ -223,18 +412,29 @@ class HttpServer:
     ----------
     router:
         The route table; handlers are ``async (Request) -> (status,
-        payload)``.
+        payload[, headers]) | Response | EventStream``.
     host, port:
         Bind address; ``port=0`` picks a free port (see :attr:`port`
         after :meth:`start`).
+    middleware:
+        Optional ``async (Request) -> None`` invoked before routing.
+        Raising :class:`ServiceError` short-circuits the request with
+        that error (admission control returns its 429s/503s this way).
     """
 
-    def __init__(self, router: Router, *, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, router: Router, *, host: str = "127.0.0.1", port: int = 0,
+                 middleware=None):
         self._router = router
         self._host = host
         self._requested_port = port
+        self._middleware = middleware
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
+        # Request ids are unique per server instance *and* across
+        # instances (the random prefix), so log lines from two serve
+        # processes never collide.
+        self._id_prefix = os.urandom(3).hex()
+        self._id_counter = itertools.count(1)
 
     @property
     def port(self) -> int:
@@ -273,23 +473,55 @@ class HttpServer:
             await self._server.wait_closed()
             self._server = None
 
+    def _response_headers(self, request: Request, extra: dict[str, str]) -> dict[str, str]:
+        """Envelope headers of every response: request id + deprecation."""
+        headers = {"X-Request-Id": request.request_id}
+        if request.deprecated:
+            headers["Deprecation"] = "true"
+            headers["Link"] = f'</v1{request.path}>; rel="successor-version"'
+        headers.update(extra)
+        return headers
+
     async def _handle_connection(self, reader, writer) -> None:
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
             task.add_done_callback(self._connections.discard)
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if isinstance(peer, tuple) else str(peer or "")
         try:
             while True:
                 try:
                     request = await _read_request(reader)
                 except _ProtocolError as error:
-                    writer.write(json_response(error.status, {"error": str(error)}))
+                    writer.write(json_response(
+                        error.status, error_payload(error.status, str(error))
+                    ))
                     await writer.drain()
                     break
                 if request is None:
                     break
-                status, payload = await self._dispatch(request)
-                writer.write(json_response(status, payload))
+                request.client = client
+                request.request_id = f"{self._id_prefix}-{next(self._id_counter):06x}"
+                response = await self._dispatch(request)
+                log.info(
+                    "%s %s %s -> %d [%s]",
+                    request.client_key, request.method, request.path,
+                    response.status, request.request_id,
+                )
+                if isinstance(response, EventStream):
+                    writer.write(stream_head(
+                        response.status, self._response_headers(request, response.headers)
+                    ))
+                    await writer.drain()
+                    async for chunk in response.chunks:
+                        writer.write(chunk)
+                        await writer.drain()
+                    break  # Connection: close is the stream framing
+                writer.write(json_response(
+                    response.status, response.payload,
+                    self._response_headers(request, response.headers),
+                ))
                 await writer.drain()
                 if request.headers.get("connection", "").lower() == "close":
                     break
@@ -304,14 +536,33 @@ class HttpServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                # CancelledError: server.close() cancelled this handler
+                # while it waited for the transport teardown — the
+                # socket is closed either way.
                 pass
 
-    async def _dispatch(self, request: Request) -> tuple[int, object]:
+    async def _dispatch(self, request: Request):
         try:
+            if self._middleware is not None:
+                await self._middleware(request)
             handler = self._router.resolve(request)
-            return await handler(request)
+            result = await handler(request)
+            if isinstance(result, EventStream):
+                return result
+            return Response.coerce(result)
         except ServiceError as error:
-            return error.status, {"error": str(error)}
+            return Response(
+                error.status,
+                error_payload(error.status, str(error), code=error.code,
+                              request_id=request.request_id),
+                dict(error.headers),
+            )
         except Exception as error:  # noqa: BLE001 - last-resort boundary
-            return 500, {"error": f"{type(error).__name__}: {error}"}
+            log.exception("unhandled error serving %s %s [%s]",
+                          request.method, request.path, request.request_id)
+            return Response(
+                500,
+                error_payload(500, f"{type(error).__name__}: {error}",
+                              request_id=request.request_id),
+            )

@@ -2,8 +2,12 @@
 
 Long-running clustering requests (``mcp``/``acp``/``mcl``/``gmm``) do
 not block the event loop: they are recorded as :class:`Job` objects and
-executed on a :class:`~concurrent.futures.ThreadPoolExecutor`, while
-HTTP clients poll ``GET /jobs/{id}`` and fetch ``/jobs/{id}/result``.
+executed on a :class:`~concurrent.futures.ThreadPoolExecutor` (or
+dispatched to worker *processes* by
+:class:`repro.service.workers.ProcessJobQueue`, which shares the
+:class:`Job` bookkeeping defined here), while HTTP clients poll
+``GET /v1/jobs/{id}``, stream ``/v1/jobs/{id}/events``, and fetch
+``/v1/jobs/{id}/result``.
 
 Coalescing invariant
     Jobs are keyed by the canonical JSON of their *normalized*
@@ -21,6 +25,18 @@ Cancellation
     unwound cooperatively at its next ``cancel_check`` (between
     threshold guesses in mcp/acp) via
     :class:`~repro.exceptions.JobCancelledError`.
+
+Events
+    Every lifecycle transition (and every progress report from the
+    clustering progress hook) is appended to ``job.events`` with a
+    monotone per-job ``seq`` — the replayable record the SSE endpoint
+    streams.
+
+Admission
+    ``submit(..., admit=...)`` invokes the admission callback under the
+    queue lock *only when a brand-new job would be created* — coalesced
+    resubmissions are never rejected (they add no load), and the check
+    is race-free against concurrent submissions.
 """
 
 from __future__ import annotations
@@ -29,6 +45,7 @@ import itertools
 import json
 import threading
 import time
+from collections import Counter
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -38,7 +55,14 @@ from repro.exceptions import JobCancelledError, ServiceError
 #: Every state a job can be in; the last three are terminal.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
-_TERMINAL = frozenset({"done", "failed", "cancelled"})
+#: The states a job never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+_TERMINAL = TERMINAL_STATES  # backward-compatible alias
+
+#: Default / maximum page sizes of :func:`paginate_jobs`.
+DEFAULT_PAGE_LIMIT = 100
+MAX_PAGE_LIMIT = 1000
 
 
 def canonical_key(params: dict) -> str:
@@ -56,6 +80,23 @@ def canonical_key(params: dict) -> str:
     return json.dumps(params, sort_keys=True, separators=(",", ":"))
 
 
+def job_number(job_id: str) -> int:
+    """The monotone sequence number behind a ``job-NNNNNN`` id.
+
+    Raises a 400 :class:`ServiceError` for malformed ids (the
+    pagination cursor is a job id supplied by the client).
+
+    Examples
+    --------
+    >>> job_number("job-000042")
+    42
+    """
+    prefix, sep, digits = job_id.partition("-")
+    if prefix != "job" or not sep or not digits.isdigit():
+        raise ServiceError(f"malformed job id: {job_id!r}", status=400)
+    return int(digits)
+
+
 @dataclass
 class Job:
     """One background clustering request and its lifecycle state."""
@@ -71,11 +112,32 @@ class Job:
     error: str | None = None
     #: Extra identical submissions folded into this job while in flight.
     coalesced: int = 0
+    #: Admission-control identity of the submitting client.
+    client: str = ""
+    #: Replayable event log (lifecycle transitions + progress reports).
+    events: list[dict] = field(default_factory=list)
     cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
     #: Opaque payload captured at submission (the service stores the
     #: resolved graph object here so a job is immune to the registry
     #: entry being replaced mid-flight).  Never serialized.
     context: object = field(default=None, repr=False)
+    _events_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def add_event(self, event: str, data: dict | None = None) -> dict:
+        """Append an event record ``{"seq", "event", "data", "ts"}``.
+
+        ``seq`` is monotone per job, so the SSE endpoint can replay the
+        history and then tail new events without duplication.
+        """
+        with self._events_lock:
+            record = {
+                "seq": len(self.events),
+                "event": event,
+                "data": dict(data) if data else {},
+                "ts": time.time(),
+            }
+            self.events.append(record)
+        return record
 
     def describe(self) -> dict:
         """JSON-safe status summary (no result payload)."""
@@ -89,7 +151,50 @@ class Job:
             "coalesced": self.coalesced,
             "error": self.error,
             "elapsed_s": elapsed,
+            "events": len(self.events),
         }
+
+
+def paginate_jobs(jobs, *, state: str | None = None, limit=None,
+                  cursor: str | None = None) -> tuple[list[Job], str | None]:
+    """Filter, order, and paginate a job collection.
+
+    Jobs are ordered by their monotone id (submission order) so pages
+    are stable: pruning can only remove jobs, never reorder them, and a
+    ``cursor`` (the last job id of the previous page) always resumes
+    *after* that id even if the job itself has been pruned meanwhile.
+
+    Returns ``(page, next_cursor)`` where ``next_cursor`` is ``None``
+    on the last page.  Raises a 400 :class:`ServiceError` for an
+    unknown ``state``, a malformed ``cursor``, or an out-of-range
+    ``limit``.
+    """
+    if state is not None and state not in JOB_STATES:
+        raise ServiceError(
+            f"state must be one of {', '.join(JOB_STATES)}, got {state!r}", status=400
+        )
+    if limit is None:
+        limit = DEFAULT_PAGE_LIMIT
+    try:
+        limit = int(limit)
+    except (TypeError, ValueError):
+        raise ServiceError(f"malformed limit: {limit!r}", status=400) from None
+    if not 1 <= limit <= MAX_PAGE_LIMIT:
+        raise ServiceError(
+            f"limit must be in [1, {MAX_PAGE_LIMIT}], got {limit}", status=400
+        )
+    after = job_number(cursor) if cursor is not None else -1
+    matching = sorted(
+        (
+            job for job in jobs
+            if job_number(job.id) > after
+            and (state is None or job.status == state)
+        ),
+        key=lambda job: job_number(job.id),
+    )
+    page = matching[:limit]
+    next_cursor = page[-1].id if len(matching) > limit else None
+    return page, next_cursor
 
 
 class JobQueue:
@@ -107,7 +212,7 @@ class JobQueue:
         concurrently.
     retain:
         How many *terminal* jobs to keep for result retrieval; the
-        oldest are pruned beyond this.
+        oldest (by job id, deterministically) are pruned beyond this.
     """
 
     def __init__(self, runner: Callable[[Job], dict], *, workers: int = 2,
@@ -117,18 +222,21 @@ class JobQueue:
         if retain <= 0:
             raise ValueError(f"retain must be positive, got {retain}")
         self._runner = runner
+        self.workers = int(workers)
         self._retain = int(retain)
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._futures: dict[str, object] = {}
         self._inflight: dict[str, str] = {}  # canonical key -> job id
         self._ids = itertools.count(1)
+        self._client_active: Counter[str] = Counter()
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
 
     def submit(self, params: dict, *, key_suffix: str = "",
-               context: object = None) -> tuple[Job, bool]:
+               context: object = None, client: str = "",
+               admit: Callable[[dict], None] | None = None) -> tuple[Job, bool]:
         """Enqueue ``params`` (or coalesce onto an identical in-flight job).
 
         Returns ``(job, coalesced)`` — ``coalesced`` is True when an
@@ -137,7 +245,14 @@ class JobQueue:
         coalescing key with identity the params alone cannot carry (the
         service passes the graph-registry revision, so jobs against a
         re-uploaded graph never coalesce across contents); ``context``
-        is attached to the job for the runner.
+        is attached to the job for the runner; ``client`` is the
+        submitting client's admission identity.
+
+        ``admit`` (if given) is called under the queue lock with a
+        snapshot ``{"queued", "running", "client_active", "workers"}``
+        before a *new* job is created; raising
+        :class:`~repro.exceptions.ServiceError` from it rejects the
+        submission race-free.  Coalesced submissions skip the check.
         """
         key = canonical_key(params) + (f"#{key_suffix}" if key_suffix else "")
         with self._lock:
@@ -146,13 +261,27 @@ class JobQueue:
                 job = self._jobs[existing_id]
                 job.coalesced += 1
                 return job, True
+            if admit is not None:
+                admit(self._snapshot_locked(client))
             job = Job(id=f"job-{next(self._ids):06d}", key=key, params=dict(params),
-                      context=context)
+                      context=context, client=client)
+            job.add_event("queued", {"params": job.params})
             self._jobs[job.id] = job
             self._inflight[key] = job.id
+            if client:
+                self._client_active[client] += 1
             self._prune_locked()
             self._futures[job.id] = self._executor.submit(self._run, job)
         return job, False
+
+    def _snapshot_locked(self, client: str) -> dict:
+        states = Counter(job.status for job in self._jobs.values())
+        return {
+            "queued": states["queued"],
+            "running": states["running"],
+            "client_active": self._client_active.get(client, 0) if client else 0,
+            "workers": self.workers,
+        }
 
     def get(self, job_id: str) -> Job:
         """The job with ``job_id``, or a 404 :class:`ServiceError`."""
@@ -163,9 +292,16 @@ class JobQueue:
         return job
 
     def list(self) -> list[Job]:
-        """All retained jobs, oldest first."""
+        """All retained jobs, in submission (job id) order."""
         with self._lock:
-            return list(self._jobs.values())
+            return sorted(self._jobs.values(), key=lambda job: job_number(job.id))
+
+    def active_count(self) -> int:
+        """Number of non-terminal jobs (queued + running)."""
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values() if job.status not in TERMINAL_STATES
+            )
 
     def cancel(self, job_id: str) -> Job:
         """Cancel ``job_id``; terminal jobs are left untouched.
@@ -179,7 +315,7 @@ class JobQueue:
         """
         job = self.get(job_id)
         with self._lock:
-            if job.status in _TERMINAL:
+            if job.status in TERMINAL_STATES:
                 return job
             job.cancel_event.set()
             if self._inflight.get(job.key) == job.id:
@@ -194,7 +330,7 @@ class JobQueue:
         with self._lock:
             jobs = list(self._jobs.values())
         for job in jobs:
-            if job.status not in _TERMINAL:
+            if job.status not in TERMINAL_STATES:
                 self.cancel(job.id)
         self._executor.shutdown(wait=True, cancel_futures=True)
 
@@ -211,6 +347,7 @@ class JobQueue:
                 return
             job.status = "running"
             job.started_at = time.time()
+        job.add_event("running")
         try:
             result = self._runner(job)
         except JobCancelledError as error:
@@ -233,9 +370,17 @@ class JobQueue:
         if self._inflight.get(job.key) == job.id:
             del self._inflight[job.key]
         self._futures.pop(job.id, None)
+        if job.client:
+            self._client_active[job.client] -= 1
+            if self._client_active[job.client] <= 0:
+                del self._client_active[job.client]
+        job.add_event(status, {"status": status, "error": error})
 
     def _prune_locked(self) -> None:
-        terminal = [j for j in self._jobs.values() if j.status in _TERMINAL]
+        terminal = sorted(
+            (j for j in self._jobs.values() if j.status in TERMINAL_STATES),
+            key=lambda job: job_number(job.id),
+        )
         excess = len(terminal) - self._retain
         for job in terminal[:max(excess, 0)]:
             del self._jobs[job.id]

@@ -1,8 +1,8 @@
 """Load generator for the clustering service (``repro bench-serve``).
 
 Drives a running service over plain asyncio sockets (keep-alive
-HTTP/1.1, no third-party client) and measures the three numbers the
-service exists for:
+HTTP/1.1, no third-party client) and measures the numbers the service
+exists for:
 
 ``job/<algo>/cold``
     Wall time of one clustering job submitted against an empty oracle
@@ -15,6 +15,15 @@ service exists for:
     Requests per second over ``duration`` seconds of ``concurrency``
     keep-alive connections issuing reliability estimates against the
     warm pool, with latency quantiles.
+``job/mixed`` (``--mixed-jobs``)
+    Jobs per second of a mixed cold/warm/mutate stream — the
+    throughput-vs-workers scaling cell.
+
+Two probes ride along: the warm job's SSE stream is consumed
+(:func:`collect_job_events`) and must deliver at least the recorded
+lifecycle events with the stream's request id echoed in each; and an
+optional burst phase (:func:`run_burst`) verifies admission control
+answers 429 + ``Retry-After`` once the queue bound is exceeded.
 
 Results are written as a schema-1 ``BENCH_service.json`` artifact
 (same layout as :mod:`benchmarks.record`, which cannot be imported
@@ -36,20 +45,28 @@ import numpy
 
 from repro.exceptions import ServiceError
 
+#: Job states after which polling stops.
+_TERMINAL = ("done", "failed", "cancelled")
+
 
 class ServiceClient:
     """A minimal keep-alive HTTP/JSON client on asyncio streams.
 
     One client owns one connection; open more clients for concurrency.
     All request methods return ``(status, payload)`` with the payload
-    JSON-decoded.
+    JSON-decoded; the response headers of the most recent request are
+    kept on :attr:`last_headers` (lower-cased names) — that is where
+    ``Retry-After``, ``X-Request-Id``, and ``Deprecation`` live.
     """
 
-    def __init__(self, host: str, port: int):
+    def __init__(self, host: str, port: int, *, client_id: str | None = None):
         self._host = host
         self._port = port
+        self._client_id = client_id
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        #: Response headers of the last request, lower-cased.
+        self.last_headers: dict[str, str] = {}
 
     async def connect(self) -> "ServiceClient":
         """Open the TCP connection."""
@@ -87,6 +104,8 @@ class ServiceClient:
         )
         if content_type:
             head += f"Content-Type: {content_type}\r\n"
+        if self._client_id:
+            head += f"X-Client-Id: {self._client_id}\r\n"
         head += "\r\n"
         self._writer.write(head.encode("ascii") + payload)
         await self._writer.drain()
@@ -95,26 +114,29 @@ class ServiceClient:
         if len(parts) < 2 or not parts[1].isdigit():
             raise ServiceError(f"malformed response status line: {status_line!r}", status=502)
         status = int(parts[1])
+        headers: dict[str, str] = {}
         length = 0
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 length = int(value.strip())
+        self.last_headers = headers
         raw = await self._reader.readexactly(length) if length else b""
         return status, (json.loads(raw) if raw else None)
 
 
 async def wait_ready(host: str, port: int, *, timeout: float = 30.0) -> None:
-    """Poll ``/healthz`` until the service answers 200 (or raise)."""
+    """Poll ``/v1/healthz`` until the service answers 200 (or raise)."""
     deadline = time.monotonic() + timeout
     last_error: Exception | None = None
     while time.monotonic() < deadline:
         client = ServiceClient(host, port)
         try:
-            status, _payload = await client.request("GET", "/healthz")
+            status, _payload = await client.request("GET", "/v1/healthz")
             if status == 200:
                 return
             last_error = ServiceError(f"healthz returned {status}", status=502)
@@ -128,17 +150,21 @@ async def wait_ready(host: str, port: int, *, timeout: float = 30.0) -> None:
 
 async def run_job(client: ServiceClient, job_params: dict, *,
                   poll_interval: float = 0.02, timeout: float = 600.0) -> dict:
-    """Submit a job, poll to completion, and return its result payload."""
-    status, submitted = await client.request("POST", "/jobs", job_params)
+    """Submit a job, poll to completion, and return its result payload.
+
+    The result dict additionally carries the job id under ``"job"``
+    (the service includes it in every result payload).
+    """
+    status, submitted = await client.request("POST", "/v1/jobs", job_params)
     if status != 202:
         raise ServiceError(f"job submission failed ({status}): {submitted}", status=502)
     job_id = submitted["job"]
     deadline = time.monotonic() + timeout
     while True:
-        status, described = await client.request("GET", f"/jobs/{job_id}")
+        status, described = await client.request("GET", f"/v1/jobs/{job_id}")
         if status != 200:
             raise ServiceError(f"job poll failed ({status}): {described}", status=502)
-        if described["status"] in ("done", "failed", "cancelled"):
+        if described["status"] in _TERMINAL:
             break
         if time.monotonic() > deadline:
             raise ServiceError(f"job {job_id} timed out", status=502)
@@ -148,10 +174,54 @@ async def run_job(client: ServiceClient, job_params: dict, *,
             f"job {job_id} finished {described['status']}: {described.get('error')}",
             status=502,
         )
-    status, result = await client.request("GET", f"/jobs/{job_id}/result")
+    status, result = await client.request("GET", f"/v1/jobs/{job_id}/result")
     if status != 200:
         raise ServiceError(f"result fetch failed ({status}): {result}", status=502)
     return result
+
+
+async def collect_job_events(host: str, port: int, job_id: str, *,
+                             max_events: int = 10_000,
+                             timeout: float = 60.0) -> list[dict]:
+    """Consume ``GET /v1/jobs/{id}/events`` (SSE) until the job ends.
+
+    Returns the decoded ``data:`` payloads in order.  The stream
+    replays the job's history, so a terminal job still yields its full
+    record.  Raises :class:`ServiceError` on a non-200 response or a
+    stream that goes silent for ``timeout`` seconds.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\nConnection: close\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout)
+        status = int(head.split(b" ", 2)[1])
+        if status != 200:
+            raise ServiceError(f"event stream for {job_id} answered {status}", status=502)
+        events: list[dict] = []
+        data_lines: list[str] = []
+        while len(events) < max_events:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if not line:
+                break
+            text = line.decode("utf-8").rstrip("\r\n")
+            if text.startswith("data: "):
+                data_lines.append(text[len("data: "):])
+            elif not text and data_lines:
+                events.append(json.loads("\n".join(data_lines)))
+                data_lines = []
+                if events[-1].get("event") in _TERMINAL:
+                    break
+        return events
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
 
 
 async def _estimate_worker(host: str, port: int, path: str, stop_at: float,
@@ -175,26 +245,37 @@ async def _estimate_worker(host: str, port: int, path: str, stop_at: float,
 def describe_failure(status: int, payload) -> str:
     """One-line summary of a non-2xx response: status plus its body.
 
-    The service answers every error with a JSON body whose ``error``
-    field carries the reason; surface it (truncated) so the failure
-    summary is actionable.
+    The service answers every error with the uniform envelope
+    ``{"error": {"code", "message", "request_id"}}``; surface the code
+    and message (truncated) so the failure summary is actionable.
+    Legacy plain-string ``error`` bodies are handled too.
 
     Examples
     --------
+    >>> describe_failure(400, {"error": {"code": "bad_request",
+    ...     "message": "estimate needs u and v", "request_id": "ab-01"}})
+    '400 [bad_request]: estimate needs u and v'
     >>> describe_failure(400, {"error": "estimate needs u and v"})
     '400: estimate needs u and v'
     >>> describe_failure(503, None)
     '503: <no body>'
     """
+    code = None
     if isinstance(payload, dict) and "error" in payload:
-        body = str(payload["error"])
+        error = payload["error"]
+        if isinstance(error, dict):
+            code = error.get("code")
+            body = str(error.get("message", error))
+        else:
+            body = str(error)
     elif payload is None:
         body = "<no body>"
     else:
         body = json.dumps(payload, sort_keys=True)
     if len(body) > 200:
         body = body[:197] + "..."
-    return f"{status}: {body}"
+    prefix = f"{status} [{code}]" if code else f"{status}"
+    return f"{prefix}: {body}"
 
 
 def _quantile(sorted_values: list, q: float) -> float:
@@ -204,26 +285,32 @@ def _quantile(sorted_values: list, q: float) -> float:
     return sorted_values[index]
 
 
+def _split_url(url: str) -> tuple[str, int]:
+    split = urlsplit(url if "//" in url else f"http://{url}")
+    return split.hostname or "127.0.0.1", split.port or 80
+
+
 async def run_load(url: str, *, graph: str, algorithm: str = "mcp", k: int = 4,
                    samples: int = 500, seed: int = 0, duration: float = 3.0,
                    concurrency: int = 4, upload: str | None = None,
                    u: str = "0", v: str = "1") -> dict:
     """Run the full measurement against a live service.
 
-    Returns a dict with the three benchmark cells plus request totals;
-    raises :class:`ServiceError` when any request misbehaves.  With
-    ``upload`` set, the file's ``.uel`` text is uploaded under
-    ``graph`` first.
+    Returns a dict with the benchmark cells plus request totals; raises
+    :class:`ServiceError` when any request misbehaves.  With ``upload``
+    set, the file's ``.uel`` text is uploaded under ``graph`` first.
+    The warm job's SSE stream is consumed and verified as part of the
+    run (at least the lifecycle events, each echoing the stream's
+    request id).
     """
-    split = urlsplit(url if "//" in url else f"http://{url}")
-    host, port = split.hostname or "127.0.0.1", split.port or 80
+    host, port = _split_url(url)
     await wait_ready(host, port)
     client = await ServiceClient(host, port).connect()
     try:
         if upload is not None:
             with open(upload, "r", encoding="utf-8") as handle:
                 text = handle.read()
-            status, payload = await client.request("PUT", f"/graphs/{graph}", text)
+            status, payload = await client.request("PUT", f"/v1/graphs/{graph}", text)
             if status != 200:
                 raise ServiceError(f"graph upload failed ({status}): {payload}", status=502)
         job_params = {"graph": graph, "algorithm": algorithm, "k": k,
@@ -246,7 +333,19 @@ async def run_load(url: str, *, graph: str, algorithm: str = "mcp", k: int = 4,
         if warm.get("assignment") != cold.get("assignment"):
             raise ServiceError("warm labels differ from cold labels", status=502)
 
-        estimate_path = f"/graphs/{graph}/estimate?u={u}&v={v}&samples={samples}&seed={seed}"
+        events = await collect_job_events(host, port, warm["job"])
+        if not events:
+            raise ServiceError(
+                f"event stream for {warm['job']} delivered no events", status=502
+            )
+        if any(not event.get("request_id") for event in events):
+            raise ServiceError(
+                "SSE events are missing the stream request id", status=502
+            )
+
+        estimate_path = (
+            f"/v1/graphs/{graph}/estimate?u={u}&v={v}&samples={samples}&seed={seed}"
+        )
         status, payload = await client.request("GET", estimate_path)
         if status != 200:
             raise ServiceError(f"estimate failed ({status}): {payload}", status=502)
@@ -275,6 +374,7 @@ async def run_load(url: str, *, graph: str, algorithm: str = "mcp", k: int = 4,
         "cold_worlds_sampled": cold.get("worlds_sampled"),
         "warm_worlds_sampled": warm.get("worlds_sampled"),
         "warm": warm.get("warm"),
+        "sse_events": len(events),
         "sustained_requests": len(latencies),
         "sustained_duration_s": duration,
         "requests_per_second": len(latencies) / duration,
@@ -284,12 +384,155 @@ async def run_load(url: str, *, graph: str, algorithm: str = "mcp", k: int = 4,
     }
 
 
+async def _toggle_edge(client: ServiceClient, graph: str, u: str, v: str,
+                       state: dict) -> None:
+    """Alternately add and remove the synthetic edge ``(u, v)``.
+
+    The first attempt may guess the edge's presence wrong (it might
+    pre-exist in the graph); it flips and retries once, then tracks the
+    state locally.
+    """
+    op = "remove" if state.get("present") else "add"
+    ops = [{"op": op, "u": u, "v": v, **({"p": 0.5} if op == "add" else {})}]
+    status, payload = await client.request("PATCH", f"/v1/graphs/{graph}/edges", {"ops": ops})
+    if status != 200 and not state.get("probed"):
+        state["present"] = not state.get("present")
+        state["probed"] = True
+        return await _toggle_edge(client, graph, u, v, state)
+    if status != 200:
+        raise ServiceError(
+            f"mutation failed: {describe_failure(status, payload)}", status=502
+        )
+    state["probed"] = True
+    state["present"] = op == "add"
+
+
+async def run_mixed_load(url: str, *, graph: str, k: int = 4, samples: int = 500,
+                         seed: int = 0, jobs: int = 12, concurrency: int = 4,
+                         u: str = "0", v: str = "1",
+                         client_id: str | None = None) -> dict:
+    """Throughput of a mixed cold/warm/mutate job stream (jobs/second).
+
+    Every fourth job is preceded by an edge mutation (invalidating the
+    warm pool, exercising ancestor derivation), every other job
+    repeats the fixed seed (warm path), and the rest use fresh seeds
+    (cold path).  ``concurrency`` submitter connections drive the
+    stream; the returned ``jobs_per_s`` is the scaling-vs-workers
+    benchmark cell.
+    """
+    host, port = _split_url(url)
+    await wait_ready(host, port)
+    kinds = []
+    for index in range(jobs):
+        if index % 4 == 3:
+            kinds.append("mutate")
+        elif index % 2 == 1:
+            kinds.append("warm")
+        else:
+            kinds.append("cold")
+    queue: asyncio.Queue = asyncio.Queue()
+    for index, kind in enumerate(kinds):
+        queue.put_nowait((index, kind))
+    mutate_lock = asyncio.Lock()
+    mutate_state: dict = {}
+    counts = {"cold": 0, "warm": 0, "mutate": 0}
+    failures: list[str] = []
+
+    async def submitter() -> None:
+        client = await ServiceClient(host, port, client_id=client_id).connect()
+        try:
+            while True:
+                try:
+                    index, kind = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                params = {"graph": graph, "algorithm": "mcp", "k": k,
+                          "samples": samples, "seed": seed}
+                try:
+                    if kind == "cold":
+                        params["seed"] = seed + 1000 + index
+                    elif kind == "mutate":
+                        # One mutation at a time: the toggle state must
+                        # match the graph's actual contents.
+                        async with mutate_lock:
+                            await _toggle_edge(client, graph, u, v, mutate_state)
+                    await run_job(client, params)
+                    counts[kind] += 1
+                except ServiceError as error:
+                    failures.append(f"{kind} job {index}: {error}")
+                    return
+        finally:
+            await client.close()
+
+    begin = time.perf_counter()
+    await asyncio.gather(*(submitter() for _ in range(concurrency)))
+    elapsed = time.perf_counter() - begin
+    if failures:
+        raise ServiceError(
+            "mixed load saw failures: " + "; ".join(failures[:5]), status=502
+        )
+    return {
+        "jobs": jobs,
+        "seconds": elapsed,
+        "jobs_per_s": jobs / elapsed,
+        "concurrency": concurrency,
+        "counts": counts,
+    }
+
+
+async def run_burst(url: str, *, graph: str, count: int = 16, k: int = 4,
+                    samples: int = 200_000, seed: int = 0,
+                    client_id: str | None = None) -> dict:
+    """Burst ``count`` distinct submissions to probe admission control.
+
+    Jobs use distinct seeds (so none coalesce) and a large sample
+    budget (so they stay queued); once the queue bound fills, the
+    service must answer 429 with a ``Retry-After`` header instead of
+    queueing without bound.  All accepted jobs are cancelled before
+    returning.  Returns acceptance/rejection counts; the caller
+    decides whether a rejection was required (``--require-429``).
+    """
+    host, port = _split_url(url)
+    await wait_ready(host, port)
+    client = await ServiceClient(host, port, client_id=client_id).connect()
+    accepted: list[str] = []
+    rejected = 0
+    retry_after_present = True
+    try:
+        for index in range(count):
+            params = {"graph": graph, "algorithm": "mcp", "k": k,
+                      "samples": samples, "seed": seed + 5000 + index}
+            status, payload = await client.request("POST", "/v1/jobs", params)
+            if status == 202:
+                accepted.append(payload["job"])
+            elif status == 429:
+                rejected += 1
+                if "retry-after" not in client.last_headers:
+                    retry_after_present = False
+            else:
+                raise ServiceError(
+                    f"burst submission {index} answered "
+                    f"{describe_failure(status, payload)}", status=502,
+                )
+        for job_id in accepted:
+            await client.request("DELETE", f"/v1/jobs/{job_id}")
+    finally:
+        await client.close()
+    return {
+        "submitted": count,
+        "accepted": len(accepted),
+        "rejected_429": rejected,
+        "retry_after_present": retry_after_present,
+    }
+
+
 def write_artifact(results: dict, path) -> None:
     """Write ``results`` as a schema-1 ``BENCH_service.json`` artifact.
 
     The layout matches ``benchmarks/record.py`` so
     ``benchmarks/compare.py`` can diff service artifacts against the
-    committed baseline like any other suite.
+    committed baseline like any other suite.  Mixed-load and burst
+    phases (when run) are recorded as extra cells/metadata.
     """
     algo = results["algorithm"]
     benchmarks = {
@@ -316,6 +559,14 @@ def write_artifact(results: dict, path) -> None:
             },
         },
     }
+    mixed = results.get("mixed")
+    if mixed:
+        benchmarks["job/mixed"] = {
+            "seconds": mixed["seconds"],
+            "items": mixed["jobs"],
+            "throughput": mixed["jobs_per_s"],
+            "meta": {"concurrency": mixed["concurrency"], "counts": mixed["counts"]},
+        }
     artifact = {
         "schema": 1,
         "suite": "service",
@@ -327,6 +578,9 @@ def write_artifact(results: dict, path) -> None:
         },
         "benchmarks": benchmarks,
     }
+    burst = results.get("burst")
+    if burst:
+        artifact["burst"] = burst
     path = os.fspath(path)
     parent = os.path.dirname(path)
     if parent:
@@ -338,13 +592,26 @@ def write_artifact(results: dict, path) -> None:
 
 def summarize(results: dict) -> str:
     """Human-readable one-screen summary of a load run."""
-    return (
+    lines = [
         f"cold {results['algorithm']} job   {results['cold_seconds'] * 1000:8.1f} ms "
-        f"({results['cold_worlds_sampled']} worlds sampled)\n"
+        f"({results['cold_worlds_sampled']} worlds sampled)",
         f"warm {results['algorithm']} job   {results['warm_seconds'] * 1000:8.1f} ms "
-        f"(zero sampling: {results['warm']})\n"
+        f"(zero sampling: {results['warm']}, {results.get('sse_events', 0)} SSE events)",
         f"sustained estimates {results['requests_per_second']:8.1f} req/s "
         f"over {results['sustained_duration_s']:.1f}s x{results['concurrency']} "
         f"(p50 {results['latency_p50_s'] * 1000:.1f} ms, "
-        f"p95 {results['latency_p95_s'] * 1000:.1f} ms)"
-    )
+        f"p95 {results['latency_p95_s'] * 1000:.1f} ms)",
+    ]
+    mixed = results.get("mixed")
+    if mixed:
+        lines.append(
+            f"mixed job stream    {mixed['jobs_per_s']:8.2f} jobs/s "
+            f"({mixed['jobs']} jobs x{mixed['concurrency']}: {mixed['counts']})"
+        )
+    burst = results.get("burst")
+    if burst:
+        lines.append(
+            f"burst admission     {burst['rejected_429']}/{burst['submitted']} "
+            f"rejected 429 (Retry-After: {burst['retry_after_present']})"
+        )
+    return "\n".join(lines)

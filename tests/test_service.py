@@ -31,7 +31,7 @@ from repro.graph.uncertain_graph import UncertainGraph
 from repro.sampling.parallel import ParallelSampler
 from repro.sampling.sizes import PracticalSchedule
 from repro.service import BackgroundServer, ClusterService
-from repro.service.jobs import JobQueue, canonical_key
+from repro.service.jobs import Job, JobQueue, canonical_key, paginate_jobs
 
 TIMEOUT = 30.0
 
@@ -51,6 +51,7 @@ class Client:
 
     def __init__(self, port: int):
         self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=TIMEOUT)
+        self.last_headers: dict[str, str] = {}
 
     def request(self, method, path, body=None, content_type="application/json"):
         headers = {}
@@ -61,6 +62,7 @@ class Client:
         self.conn.request(method, path, body=body, headers=headers)
         response = self.conn.getresponse()
         raw = response.read()
+        self.last_headers = {k.lower(): v for k, v in response.getheaders()}
         return response.status, (json.loads(raw) if raw else None)
 
     def wait_job(self, job_id: str) -> dict:
@@ -206,7 +208,7 @@ class TestGraphEndpoints:
             "PUT", "/graphs/bad", "0 1 0.5\n1 2 1.5\n", content_type="text/plain"
         )
         assert status == 400
-        assert "line 2" in payload["error"]
+        assert "line 2" in payload["error"]["message"]
         assert client.request("GET", "/graphs/bad")[0] == 404  # nothing registered
 
     def test_upload_json_nan_probability_400(self, client):
@@ -216,27 +218,27 @@ class TestGraphEndpoints:
             "PUT", "/graphs/bad", body='{"edges": [[0, 1, 0.5], [1, 2, NaN]]}'
         )
         assert status == 400
-        assert "edge 2" in payload["error"]
+        assert "edge 2" in payload["error"]["message"]
         status, payload = client.request(
             "PUT", "/graphs/bad", {"edges": [[0, 1, 1.5]]}
         )
         assert status == 400
-        assert "outside [0, 1]" in payload["error"]
+        assert "outside [0, 1]" in payload["error"]["message"]
         status, payload = client.request(
             "PUT", "/graphs/bad", {"edges": [[0, 1, 0.5], [1, 2]]}
         )
         assert status == 400
-        assert "triple" in payload["error"]
+        assert "triple" in payload["error"]["message"]
 
     def test_upload_malformed_json_400(self, client):
         status, payload = client.request("PUT", "/graphs/bad", body="{nope")
         assert status == 400
-        assert "malformed JSON" in payload["error"]
+        assert "malformed JSON" in payload["error"]["message"]
 
     def test_upload_json_non_object_body_400(self, client):
         status, payload = client.request("PUT", "/graphs/bad", [[0, 1, 0.5]])
         assert status == 400
-        assert "object" in payload["error"]
+        assert "object" in payload["error"]["message"]
 
     def test_delete(self, client):
         client.request("PUT", "/graphs/gone", "0 1 0.5\n", content_type="text/plain")
@@ -247,7 +249,7 @@ class TestGraphEndpoints:
     def test_unknown_graph_404(self, client):
         status, payload = client.request("GET", "/graphs/missing")
         assert status == 404
-        assert "no such graph" in payload["error"]
+        assert "no such graph" in payload["error"]["message"]
 
 
 class TestEstimate:
@@ -281,12 +283,12 @@ class TestEstimate:
     def test_missing_params_400(self, client):
         status, payload = client.request("GET", "/graphs/toy/estimate?u=0")
         assert status == 400
-        assert "'u' and 'v'" in payload["error"]
+        assert "'u' and 'v'" in payload["error"]["message"]
 
     def test_unknown_node_404(self, client):
         status, payload = client.request("GET", "/graphs/toy/estimate?u=0&v=banana")
         assert status == 404
-        assert "no such node" in payload["error"]
+        assert "no such node" in payload["error"]["message"]
 
     def test_bad_samples_400(self, client):
         status, _ = client.request("GET", "/graphs/toy/estimate?u=0&v=1&samples=goose")
@@ -298,7 +300,7 @@ class TestEstimate:
             "GET", "/graphs/toy/estimate?u=0&v=1&samples=2000000000"
         )
         assert status == 400
-        assert "samples" in payload["error"]
+        assert "samples" in payload["error"]["message"]
 
 
 class TestJobs:
@@ -364,22 +366,22 @@ class TestJobs:
     def test_unknown_graph_404(self, client):
         status, payload = client.request("POST", "/jobs", {**self.PARAMS, "graph": "nope"})
         assert status == 404
-        assert "no such graph" in payload["error"]
+        assert "no such graph" in payload["error"]["message"]
 
     def test_malformed_body_400(self, client):
         status, payload = client.request("POST", "/jobs", body="{broken")
         assert status == 400
-        assert "malformed JSON" in payload["error"]
+        assert "malformed JSON" in payload["error"]["message"]
 
     def test_unknown_algorithm_400(self, client):
         status, payload = client.request("POST", "/jobs", {**self.PARAMS, "algorithm": "magic"})
         assert status == 400
-        assert "algorithm" in payload["error"]
+        assert "algorithm" in payload["error"]["message"]
 
     def test_unknown_field_400(self, client):
         status, payload = client.request("POST", "/jobs", {**self.PARAMS, "bogus": 1})
         assert status == 400
-        assert "bogus" in payload["error"]
+        assert "bogus" in payload["error"]["message"]
 
     def test_job_not_found_404(self, client):
         assert client.request("GET", "/jobs/job-999999")[0] == 404
@@ -405,7 +407,7 @@ class TestJobs:
             assert status == 202
             status, payload = client.request("GET", f"/jobs/{submitted['job']}/result")
             assert status == 409
-            assert "not done" in payload["error"]
+            assert "not done" in payload["error"]["message"]
         finally:
             gate.set()
             service.jobs._runner = original
@@ -432,7 +434,7 @@ class TestJobs:
             assert described["status"] == "cancelled"
             status, payload = client.request("GET", f"/jobs/{submitted['job']}/result")
             assert status == 409
-            assert "cancelled" in payload["error"]
+            assert "cancelled" in payload["error"]["message"]
         finally:
             gate.set()
             service.jobs._runner = original
@@ -502,14 +504,14 @@ class TestJobs:
     def test_samples_below_schedule_floor_400(self, client):
         status, payload = client.request("POST", "/jobs", {**self.PARAMS, "samples": 10})
         assert status == 400
-        assert "samples" in payload["error"] and "50" in payload["error"]
+        assert "samples" in payload["error"]["message"] and "50" in payload["error"]["message"]
 
     def test_job_samples_above_cap_400(self, client):
         status, payload = client.request(
             "POST", "/jobs", {**self.PARAMS, "samples": 2_000_000_000}
         )
         assert status == 400
-        assert "samples" in payload["error"]
+        assert "samples" in payload["error"]["message"]
 
     def test_jobs_list(self, client):
         client.run_job({"graph": "toy", "algorithm": "gmm", "k": 3})
@@ -853,7 +855,7 @@ class TestGraphMutation:
             {"ops": [{"op": "update", "u": 0, "v": 99, "p": 0.5}]},
         )
         assert status == 404
-        assert "no such node" in payload["error"]
+        assert "no such node" in payload["error"]["message"]
 
     def test_patch_mutation_prevents_coalescing(self, service, client):
         """The regression pin: a PATCH (not just a re-upload) bumps the
@@ -972,5 +974,488 @@ class TestLoadgenFailureBodies:
 
         failures = asyncio.run(run())
         assert len(failures) == 1
-        assert failures[0].startswith("400:")
+        assert failures[0].startswith("400 [bad_request]:")
         assert "samples" in failures[0]  # the body, not just the code
+
+
+def _read_sse(port: int, job_id: str, timeout: float = TIMEOUT):
+    """GET /v1/jobs/{id}/events over a raw socket; return (head, events)."""
+    import socket
+
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.sendall(
+            f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n"
+            f"Host: h\r\nConnection: close\r\n\r\n".encode()
+        )
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    events = []
+    for line in body.decode().splitlines():
+        if line.startswith("data: "):
+            events.append(json.loads(line[len("data: "):]))
+    return head.decode(), events
+
+
+class TestV1ApiSurface:
+    """Satellite pins: /v1 prefix, deprecation shim, request ids, envelope."""
+
+    def test_v1_and_legacy_alias_both_serve(self, client):
+        status, v1 = client.request("GET", "/v1/healthz")
+        assert status == 200 and v1["status"] == "ok"
+        assert "deprecation" not in client.last_headers
+
+        status, legacy = client.request("GET", "/healthz")
+        assert status == 200 and legacy["status"] == "ok"
+        assert client.last_headers["deprecation"] == "true"
+        assert client.last_headers["link"] == '</v1/healthz>; rel="successor-version"'
+
+    def test_legacy_alias_covers_parameterized_routes(self, client):
+        status, _ = client.request("GET", "/graphs/toy")
+        assert status == 200
+        assert client.last_headers["link"] == '</v1/graphs/toy>; rel="successor-version"'
+        status, _ = client.request("GET", "/v1/graphs/toy")
+        assert status == 200
+        assert "deprecation" not in client.last_headers
+
+    def test_every_response_carries_unique_request_id(self, client):
+        seen = set()
+        for path in ("/v1/healthz", "/v1/nope", "/healthz"):
+            client.request("GET", path)
+            request_id = client.last_headers.get("x-request-id")
+            assert request_id
+            seen.add(request_id)
+        assert len(seen) == 3
+
+    def test_error_envelope_shape_and_request_id_echo(self, client):
+        status, payload = client.request("GET", "/v1/graphs/missing")
+        assert status == 404
+        error = payload["error"]
+        assert error["code"] == "not_found"
+        assert "no such graph" in error["message"]
+        assert error["request_id"] == client.last_headers["x-request-id"]
+
+    def test_405_envelope_code(self, client):
+        status, payload = client.request("DELETE", "/v1/healthz")
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+
+    def test_400_envelope_code(self, client):
+        status, payload = client.request("POST", "/v1/jobs", body="{broken")
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+
+class TestJobEventStream:
+    """GET /v1/jobs/{id}/events — SSE replay of the job's lifecycle."""
+
+    PARAMS = {"graph": "toy", "algorithm": "mcp", "k": 2, "samples": 300, "seed": 5}
+
+    def test_sse_replays_lifecycle_to_terminal(self, client, server):
+        status, submitted = client.request("POST", "/v1/jobs", self.PARAMS)
+        assert status == 202
+        client.wait_job(submitted["job"])
+
+        head, events = _read_sse(server.port, submitted["job"])
+        assert "200" in head.splitlines()[0]
+        assert "text/event-stream" in head.lower()
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "queued"
+        assert "running" in kinds
+        assert "progress" in kinds  # mcp emits one record per guess
+        assert kinds[-1] == "done"
+        assert [event["seq"] for event in events] == list(range(len(events)))
+        assert all(event["job"] == submitted["job"] for event in events)
+        # Every event carries the *stream* request's id (SSE echo pin).
+        stream_ids = {event["request_id"] for event in events}
+        assert len(stream_ids) == 1 and stream_ids.pop()
+
+    def test_sse_progress_records_carry_guess_data(self, client, server):
+        status, submitted = client.request("POST", "/v1/jobs", self.PARAMS)
+        assert status == 202
+        client.wait_job(submitted["job"])
+        _, events = _read_sse(server.port, submitted["job"])
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress
+        for record in progress:
+            assert {"q", "samples", "covered"} <= set(record["data"])
+
+    def test_sse_unknown_job_404_envelope(self, client):
+        status, payload = client.request("GET", "/v1/jobs/job-999999/events")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+
+class TestJobListPagination:
+    """GET /v1/jobs?state=&limit=&cursor= plus the pagination unit pins."""
+
+    def test_state_filter_limit_and_cursor(self, client):
+        ids = []
+        for seed in range(4):
+            _, submitted = client.request(
+                "POST", "/v1/jobs",
+                {"graph": "toy", "algorithm": "gmm", "k": 2, "seed": seed},
+            )
+            ids.append(submitted["job"])
+        for job_id in ids:
+            client.wait_job(job_id)
+
+        status, page1 = client.request("GET", "/v1/jobs?state=done&limit=2")
+        assert status == 200
+        assert [job["status"] for job in page1["jobs"]] == ["done", "done"]
+        assert page1["next_cursor"] == page1["jobs"][-1]["id"]
+
+        status, page2 = client.request(
+            "GET", f"/v1/jobs?state=done&limit=2&cursor={page1['next_cursor']}"
+        )
+        assert status == 200
+        assert page2["next_cursor"] is None
+        walked = [job["id"] for job in page1["jobs"] + page2["jobs"]]
+        assert walked == sorted(set(ids))  # every job exactly once, in order
+
+        status, none_queued = client.request("GET", "/v1/jobs?state=queued")
+        assert status == 200 and none_queued["jobs"] == []
+
+    def test_bad_query_params_400(self, client):
+        assert client.request("GET", "/v1/jobs?state=bogus")[0] == 400
+        assert client.request("GET", "/v1/jobs?limit=0")[0] == 400
+        assert client.request("GET", "/v1/jobs?limit=goose")[0] == 400
+        assert client.request("GET", "/v1/jobs?cursor=nope")[0] == 400
+
+    def test_paginate_cursor_resumes_after_pruned_id(self):
+        jobs = [Job(id=f"job-{i:06d}", key=str(i), params={}) for i in (1, 2, 4, 5)]
+        page, cursor = paginate_jobs(jobs, limit=2)
+        assert [job.id for job in page] == ["job-000001", "job-000002"]
+        assert cursor == "job-000002"
+        # job-000003 was pruned meanwhile: the cursor still resumes
+        # strictly after it without skipping or repeating anything.
+        page2, cursor2 = paginate_jobs(jobs, limit=2, cursor=cursor)
+        assert [job.id for job in page2] == ["job-000004", "job-000005"]
+        assert cursor2 is None
+
+    def test_paginate_exact_last_page_has_no_cursor(self):
+        jobs = [Job(id=f"job-{i:06d}", key=str(i), params={}) for i in (1, 2)]
+        page, cursor = paginate_jobs(jobs, limit=2)
+        assert len(page) == 2 and cursor is None
+
+    def test_prune_is_deterministic_oldest_terminal_first(self):
+        queue = JobQueue(lambda job: {}, workers=1, retain=2)
+        try:
+            ids = [queue.submit({"i": i})[0].id for i in range(5)]
+            for job_id in ids:
+                _wait_terminal(queue, job_id)
+            newest, _ = queue.submit({"i": 99})
+            _wait_terminal(queue, newest.id)
+            kept = [job.id for job in queue.list()]
+            # The three oldest terminal jobs are the pruning victims.
+            assert kept == [ids[3], ids[4], newest.id]
+        finally:
+            queue.shutdown()
+
+
+class TestAdmissionControlUnit:
+    def test_token_bucket_drains_and_refills(self):
+        from repro.service.admission import TokenBucket
+
+        bucket = TokenBucket(rate=1.0, burst=2)
+        assert bucket.acquire(now=0.0) is None
+        assert bucket.acquire(now=0.0) is None
+        retry = bucket.acquire(now=0.0)
+        assert retry is not None and retry > 0
+        assert bucket.acquire(now=retry + 0.01) is None
+
+    def test_rate_limiter_isolates_clients(self):
+        from repro.service.admission import RateLimiter
+
+        limiter = RateLimiter(rate=0.001, burst=1)
+        assert limiter.check("alice") is None
+        assert limiter.check("alice") is not None  # alice drained
+        assert limiter.check("bob") is None  # bob unaffected
+
+    def test_admit_job_queue_depth_bound(self):
+        from repro.service.admission import AdmissionControl
+
+        control = AdmissionControl(max_queued=2, max_jobs_per_client=8)
+        control.admit_job({"queued": 1, "running": 2, "client_active": 0, "workers": 2})
+        with pytest.raises(ServiceError) as caught:
+            control.admit_job(
+                {"queued": 2, "running": 2, "client_active": 0, "workers": 2}
+            )
+        assert caught.value.status == 429
+        assert caught.value.code == "rate_limited"
+        assert int(caught.value.headers["Retry-After"]) >= 1
+
+    def test_admit_job_per_client_bound(self):
+        from repro.service.admission import AdmissionControl
+
+        control = AdmissionControl(max_queued=None, max_jobs_per_client=1)
+        control.admit_job({"queued": 99, "running": 0, "client_active": 0, "workers": 1})
+        with pytest.raises(ServiceError) as caught:
+            control.admit_job(
+                {"queued": 0, "running": 0, "client_active": 1, "workers": 1}
+            )
+        assert caught.value.status == 429
+
+
+class TestAdmissionOverHttp:
+    def test_burst_beyond_queue_bound_429_with_retry_after(self):
+        from repro.service.admission import AdmissionControl
+
+        svc = ClusterService(
+            datasets=(), job_workers=1,
+            admission=AdmissionControl(max_queued=1, max_jobs_per_client=None),
+        )
+        svc.graphs.register_graph("toy", _toy_graph(), source="test")
+        gate = threading.Event()
+        original = svc._run_job
+
+        def gated(job):
+            gate.wait(TIMEOUT)
+            return original(job)
+
+        svc.jobs._runner = gated
+        server = BackgroundServer(svc).start()
+        client = Client(server.port)
+        try:
+            statuses, rejected = [], None
+            accepted_params = None
+            for seed in range(6):
+                params = {"graph": "toy", "algorithm": "gmm", "k": 2, "seed": seed}
+                status, payload = client.request("POST", "/v1/jobs", params)
+                statuses.append(status)
+                if status == 202 and accepted_params is None:
+                    accepted_params = params
+                if status == 429:
+                    rejected = payload
+                    assert payload["error"]["code"] == "rate_limited"
+                    assert int(client.last_headers["retry-after"]) >= 1
+                    break
+            assert rejected is not None, statuses
+            # Coalesced resubmission of an in-flight job is never
+            # rejected — it adds no load.
+            status, payload = client.request("POST", "/v1/jobs", accepted_params)
+            assert status == 202 and payload["coalesced"] is True
+        finally:
+            gate.set()
+            client.close()
+            server.stop()
+
+    def test_rate_limit_middleware_429_and_healthz_exempt(self):
+        from repro.service.admission import AdmissionControl
+
+        svc = ClusterService(
+            datasets=(),
+            admission=AdmissionControl(rate_limit=1.0, burst=2,
+                                       max_queued=None, max_jobs_per_client=None),
+        )
+        server = BackgroundServer(svc).start()
+        client = Client(server.port)
+        try:
+            statuses = [client.request("GET", "/v1/graphs")[0] for _ in range(4)]
+            assert statuses[:2] == [200, 200]
+            assert 429 in statuses[2:]
+            assert int(client.last_headers.get("retry-after", "1")) >= 1
+            # Probes stay exempt even with the bucket drained.
+            assert client.request("GET", "/v1/healthz")[0] == 200
+        finally:
+            client.close()
+            server.stop()
+
+
+class TestDrainShutdown:
+    def test_drain_rejects_new_work_then_stops(self):
+        svc = ClusterService(datasets=(), job_workers=1, shutdown_grace_s=30.0)
+        svc.graphs.register_graph("toy", _toy_graph(), source="test")
+        gate = threading.Event()
+        original = svc._run_job
+
+        def gated(job):
+            gate.wait(TIMEOUT)
+            return original(job)
+
+        svc.jobs._runner = gated
+        server = BackgroundServer(svc).start()
+        client = Client(server.port)
+        try:
+            _, submitted = client.request(
+                "POST", "/v1/jobs", {"graph": "toy", "algorithm": "gmm", "k": 2}
+            )
+            status, payload = client.request("POST", "/v1/shutdown", {"grace_s": 30.0})
+            assert status == 202
+            assert payload["status"] == "draining"
+            assert payload["active_jobs"] >= 1
+
+            # Mid-drain: work-creating requests answer 503 + Retry-After.
+            status, payload = client.request(
+                "POST", "/v1/jobs",
+                {"graph": "toy", "algorithm": "gmm", "k": 2, "seed": 9},
+            )
+            assert status == 503
+            assert payload["error"]["code"] == "draining"
+            assert client.last_headers["retry-after"]
+
+            # Reads, cancels, and repeat shutdowns stay available.
+            assert client.request("GET", f"/v1/jobs/{submitted['job']}")[0] == 200
+            status, health = client.request("GET", "/v1/healthz")
+            assert status == 200 and health["status"] == "draining"
+            assert client.request("POST", "/v1/shutdown")[0] == 202
+
+            gate.set()
+            assert client.wait_job(submitted["job"])["status"] == "done"
+            deadline = time.monotonic() + TIMEOUT
+            while time.monotonic() < deadline and not svc.shutdown_event.is_set():
+                time.sleep(0.02)
+            assert svc.shutdown_event.is_set()
+        finally:
+            gate.set()
+            client.close()
+            server.stop()
+
+    def test_grace_expiry_cancels_leftovers(self):
+        svc = ClusterService(datasets=(), job_workers=1)
+        svc.graphs.register_graph("toy", _toy_graph(), source="test")
+        gate = threading.Event()
+        original = svc._run_job
+
+        def gated(job):
+            gate.wait(TIMEOUT)
+            if job.cancel_event.is_set():
+                raise JobCancelledError("cancelled at shutdown")
+            return original(job)
+
+        svc.jobs._runner = gated
+        server = BackgroundServer(svc).start()
+        client = Client(server.port)
+        try:
+            client.request("POST", "/v1/jobs", {"graph": "toy", "algorithm": "gmm", "k": 2})
+            status, _ = client.request("POST", "/v1/shutdown", {"grace_s": 0.05})
+            assert status == 202
+            deadline = time.monotonic() + TIMEOUT
+            while time.monotonic() < deadline and not svc.shutdown_event.is_set():
+                time.sleep(0.02)
+            assert svc.shutdown_event.is_set()  # grace expired, not drained
+        finally:
+            gate.set()
+            client.close()
+            server.stop()
+
+    def test_shutdown_rejects_bad_grace(self, client):
+        status, payload = client.request("POST", "/v1/shutdown", {"grace_s": "soon"})
+        assert status == 400
+        status, payload = client.request("POST", "/v1/shutdown", {"grace_s": -1})
+        assert status == 400
+
+
+class TestProgressCallback:
+    """The library-level progress hook behind the SSE progress events."""
+
+    def test_mcp_progress_one_record_per_guess(self):
+        seen = []
+        result = mcp_clustering(
+            _toy_graph(), 2, seed=0,
+            sample_schedule=PracticalSchedule(max_samples=300),
+            progress=seen.append,
+        )
+        assert len(seen) == result.n_guesses
+        for record in seen:
+            assert {"q", "samples", "covered", "covers_all"} <= set(record)
+        assert seen[-1]["samples"] == result.samples_used
+
+    def test_acp_progress_records(self):
+        from repro.core.acp import acp_clustering
+
+        seen = []
+        acp_clustering(
+            _toy_graph(), 2, seed=0,
+            sample_schedule=PracticalSchedule(max_samples=300),
+            progress=seen.append,
+        )
+        assert seen
+        for record in seen:
+            assert {"q", "samples", "covered"} <= set(record)
+
+
+class TestProcessWorkers:
+    """The tentpole end to end: spawned worker processes over one store."""
+
+    PARAMS = {"graph": "toy", "algorithm": "mcp", "k": 2, "samples": 300, "seed": 0}
+
+    def test_warm_repeat_across_process_workers_bit_identical(self, tmp_path):
+        svc = ClusterService(
+            datasets=(), worker_processes=2,
+            world_cache=tmp_path / "worlds", cache_bytes=64 << 20,
+        )
+        svc.graphs.register_graph("toy", _toy_graph(), source="test")
+        with BackgroundServer(svc) as server:
+            client = Client(server.port)
+            try:
+                cold = client.run_job(self.PARAMS)
+                assert cold["worlds_sampled"] > 0
+
+                warm = client.run_job(self.PARAMS)
+                assert warm["warm"] is True
+                assert warm["worlds_sampled"] == 0
+                assert warm["assignment"] == cold["assignment"]
+                assert warm["centers"] == cold["centers"]
+
+                library = mcp_clustering(
+                    _toy_graph(), 2, seed=0,
+                    sample_schedule=PracticalSchedule(max_samples=300),
+                )
+                assert warm["assignment"] == [int(x) for x in library.clustering.assignment]
+                assert warm["q_final"] == library.q_final
+
+                # Affinity ledger pin: both jobs ran on the same worker,
+                # so the warm hit came from that worker's own cache.
+                _, cold_events = _read_sse(server.port, cold["job"])
+                _, warm_events = _read_sse(server.port, warm["job"])
+                workers_used = {
+                    next(e["data"]["worker"] for e in events if e["event"] == "queued")
+                    for events in (cold_events, warm_events)
+                }
+                assert len(workers_used) == 1
+                # SSE works identically in process mode.
+                kinds = [e["event"] for e in warm_events]
+                assert kinds[0] == "queued" and kinds[-1] == "done"
+                assert "running" in kinds and "progress" in kinds
+            finally:
+                client.close()
+
+    def test_cancel_queued_and_running_jobs_in_process_mode(self, tmp_path):
+        svc = ClusterService(
+            datasets=(), worker_processes=1, world_cache=tmp_path / "worlds",
+        )
+        svc.graphs.register_graph("toy", _toy_graph(), source="test")
+        with BackgroundServer(svc) as server:
+            client = Client(server.port)
+            try:
+                # k=1 forces the threshold search deep, so the job grinds
+                # through many guesses — plenty of cancel_check windows.
+                _, heavy = client.request(
+                    "POST", "/v1/jobs",
+                    {"graph": "toy", "algorithm": "mcp", "k": 1,
+                     "samples": 1_000_000, "seed": 71},
+                )
+                _, probe = client.request(
+                    "POST", "/v1/jobs",
+                    {"graph": "toy", "algorithm": "gmm", "k": 2, "seed": 72},
+                )
+                assert client.request("DELETE", f"/v1/jobs/{probe['job']}")[0] == 202
+                assert client.request("DELETE", f"/v1/jobs/{heavy['job']}")[0] == 202
+                assert client.wait_job(probe["job"])["status"] == "cancelled"
+                assert client.wait_job(heavy["job"])["status"] == "cancelled"
+                status, payload = client.request("GET", f"/v1/jobs/{heavy['job']}/result")
+                assert status == 409
+            finally:
+                client.close()
+
+    def test_process_queue_rejects_bad_config(self):
+        from repro.service.workers import ProcessJobQueue
+
+        with pytest.raises(ValueError):
+            ProcessJobQueue(workers=0)
