@@ -8,6 +8,10 @@ Oracles
     :class:`MonteCarloOracle` (progressive sampling), :class:`ExactOracle`
 Clustering algorithms
     :func:`mcp_clustering`, :func:`acp_clustering`, :func:`min_partial`
+Workloads
+    ``repro.workloads`` — :func:`kmedian_clustering`,
+    :func:`kcenter_clustering`, :func:`expected_centrality` over the
+    shared world pool, with exact-enumeration references
 Baselines
     ``repro.baselines`` — :func:`mcl_clustering`, :func:`gmm_clustering`,
     :func:`kpt_clustering`
@@ -41,6 +45,13 @@ from repro.core import (
     mcp_clustering,
     min_partial,
 )
+from repro.workloads import (
+    CentralityResult,
+    KClusteringResult,
+    expected_centrality,
+    kcenter_clustering,
+    kmedian_clustering,
+)
 
 __version__ = "1.0.0"
 
@@ -63,4 +74,9 @@ __all__ = [
     "mcp_clustering",
     "ACPResult",
     "acp_clustering",
+    "KClusteringResult",
+    "kmedian_clustering",
+    "kcenter_clustering",
+    "CentralityResult",
+    "expected_centrality",
 ]

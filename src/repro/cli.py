@@ -5,6 +5,9 @@ Usage::
     python -m repro.cli stats graph.uel
     python -m repro.cli estimate graph.uel A B --samples 4000
     python -m repro.cli cluster graph.uel --k 20 --algorithm mcp -o out.tsv
+    python -m repro.cli kmedian graph.uel --k 20 --samples 2000 -o out.tsv
+    python -m repro.cli kcenter graph.uel --k 20 --samples 2000 -o out.tsv
+    python -m repro.cli centrality graph.uel --measure harmonic -o values.tsv
     python -m repro.cli mutate graph.uel --update A B 0.9 --add A C 0.4 \
         -o graph2.uel --world-cache .world-cache
     python -m repro.cli generate krogan --scale 0.2 -o krogan.uel
@@ -39,6 +42,12 @@ from repro.sampling.oracle import MonteCarloOracle
 from repro.sampling.parallel import validate_workers_spec
 from repro.sampling.sizes import PracticalSchedule
 from repro.sampling.store import WorldStore
+from repro.workloads import (
+    MEASURE_NAMES,
+    expected_centrality,
+    kcenter_clustering,
+    kmedian_clustering,
+)
 
 _CLUSTER_ALGORITHMS = ("mcp", "acp", "mcl", "gmm", "kpt")
 
@@ -139,6 +148,58 @@ def _cmd_cluster(args) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         _write_clustering(clustering, graph, sys.stdout)
+    return 0
+
+
+def _cmd_kclustering(args) -> int:
+    """Shared runner of the ``kmedian`` / ``kcenter`` subcommands."""
+    graph = read_uncertain_graph(args.graph, merge=args.merge)
+    run = kmedian_clustering if args.command == "kmedian" else kcenter_clustering
+    result = run(
+        graph, args.k, seed=args.seed, samples=args.samples,
+        backend=args.backend, workers=args.workers, cache_dir=args.world_cache,
+    )
+    aggregate = "mean" if args.command == "kmedian" else "max"
+    print(
+        f"{args.command}: k={args.k} {aggregate}-expected-distance~="
+        f"{result.objective:.3f} [{result.samples_used} worlds]",
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            _write_clustering(result.clustering, graph, handle)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        _write_clustering(result.clustering, graph, sys.stdout)
+    return 0
+
+
+def _cmd_centrality(args) -> int:
+    graph = read_uncertain_graph(args.graph, merge=args.merge)
+    result = expected_centrality(
+        graph, measure=args.measure, seed=args.seed, samples=args.samples,
+        tol=args.tol, backend=args.backend, workers=args.workers,
+        cache_dir=args.world_cache,
+    )
+    status = "converged" if result.converged else "budget exhausted"
+    print(
+        f"centrality: measure={args.measure} half-width~={result.half_width:.4f} "
+        f"({status}, {result.samples_used} worlds, {result.n_rounds} rounds)",
+        file=sys.stderr,
+    )
+
+    def write_values(stream):
+        labels = graph.node_labels
+        stream.write("node\tvalue\n")
+        for node, value in enumerate(result.values):
+            stream.write(f"{labels[node]}\t{value:.6g}\n")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            write_values(handle)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        write_values(sys.stdout)
     return 0
 
 
@@ -425,6 +486,76 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--merge", default="error")
     cluster.add_argument("-o", "--output", default=None, help="write TSV here (default stdout)")
     cluster.set_defaults(func=_cmd_cluster)
+
+    for kind, objective in (("kmedian", "mean"), ("kcenter", "max")):
+        workload = sub.add_parser(
+            kind,
+            help=f"probabilistic {kind[1:]} clustering ({objective} expected "
+            "hop distance over sampled worlds)",
+        )
+        workload.add_argument("graph")
+        workload.add_argument("--k", type=int, default=10, help="number of clusters")
+        workload.add_argument(
+            "--samples", type=int, default=1000,
+            help="worlds the expected distances are estimated over",
+        )
+        workload.add_argument("--seed", type=int, default=0)
+        workload.add_argument(
+            "--backend", choices=BACKEND_NAMES, default="auto",
+            help="world-labeling backend (results are identical across backends)",
+        )
+        workload.add_argument(
+            "--workers", type=_parse_workers, default="auto", metavar="N|auto",
+            help="sampling worker processes (results are identical either way)",
+        )
+        workload.add_argument(
+            "--world-cache", default=None, metavar="DIR",
+            help="persistent world-store directory; the pool is shared with "
+            "every other workload of the same (graph, seed, backend, chunk size)",
+        )
+        workload.add_argument("--merge", default="error", help="duplicate-edge policy")
+        workload.add_argument(
+            "-o", "--output", default=None, help="write TSV here (default stdout)"
+        )
+        workload.set_defaults(func=_cmd_kclustering)
+
+    centrality = sub.add_parser(
+        "centrality",
+        help="expected per-node centrality over sampled worlds "
+        "(progressive sampling with confidence stopping)",
+    )
+    centrality.add_argument("graph")
+    centrality.add_argument(
+        "--measure", choices=MEASURE_NAMES, default="degree",
+        help="centrality measure to estimate",
+    )
+    centrality.add_argument(
+        "--samples", type=int, default=2000, help="sample budget (worlds)"
+    )
+    centrality.add_argument(
+        "--tol", type=float, default=0.05,
+        help="stop once every node's 95%% confidence half-width is below this",
+    )
+    centrality.add_argument("--seed", type=int, default=0)
+    centrality.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="auto",
+        help="world-labeling backend (results are identical across backends)",
+    )
+    centrality.add_argument(
+        "--workers", type=_parse_workers, default="auto", metavar="N|auto",
+        help="sampling worker processes (results are identical either way)",
+    )
+    centrality.add_argument(
+        "--world-cache", default=None, metavar="DIR",
+        help="persistent world-store directory; the pool is shared with "
+        "every other workload of the same (graph, seed, backend, chunk size)",
+    )
+    centrality.add_argument("--merge", default="error", help="duplicate-edge policy")
+    centrality.add_argument(
+        "-o", "--output", default=None,
+        help="write TSV node/value pairs here (default stdout)",
+    )
+    centrality.set_defaults(func=_cmd_centrality)
 
     mutate = sub.add_parser(
         "mutate",

@@ -28,6 +28,8 @@ from repro.sampling.store import (
 )
 from repro.sampling.deltas import DeriveResult, derive_pool, diff_edges
 from repro.sampling.worlds import (
+    block_bfs_distances,
+    block_bfs_reached,
     sample_edge_masks,
     world_component_labels,
     world_block_csr,
@@ -75,6 +77,8 @@ __all__ = [
     "average_degree_representative",
     "degree_discrepancy",
     "most_probable_world",
+    "block_bfs_distances",
+    "block_bfs_reached",
     "sample_edge_masks",
     "world_component_labels",
     "world_block_csr",

@@ -68,6 +68,7 @@ class ExactOracle:
         self._graph = graph
         self._max_uncertain_edges = max_uncertain_edges
         self._matrices: dict[int | None, np.ndarray] = {}
+        self._distances: np.ndarray | None = None
 
     @property
     def graph(self) -> UncertainGraph:
@@ -127,6 +128,34 @@ class ExactOracle:
             return matrix.copy()
         nodes = np.asarray(nodes, dtype=np.intp)
         return matrix[np.ix_(nodes, nodes)]
+
+    def expected_distances(self, sources=None) -> np.ndarray:
+        """Exact expected hop distances, disconnection counting ``n_nodes``.
+
+        Same contract as
+        :meth:`repro.sampling.oracle.MonteCarloOracle.expected_distances`
+        (the ``(s, n)`` matrix, the disconnection penalty of ``n``), so
+        the workload drivers in :mod:`repro.workloads` run against this
+        oracle unchanged and become exact.
+        """
+        if self._distances is None:
+            graph = self._graph
+            n = graph.n_nodes
+            matrix = np.zeros((n, n), dtype=np.float64)
+            for mask, world_prob in enumerate_worlds(
+                graph, max_uncertain_edges=self._max_uncertain_edges
+            ):
+                if world_prob == 0.0:
+                    continue
+                for source in range(n):
+                    dist = bfs_distances(graph, source, edge_mask=mask).astype(np.float64)
+                    dist[dist < 0] = float(n)
+                    matrix[source] += world_prob * dist
+            self._distances = matrix
+        if sources is None:
+            return self._distances.copy()
+        sources = np.asarray(sources, dtype=np.intp)
+        return self._distances[sources].copy()
 
     def __repr__(self) -> str:
         return f"ExactOracle(n_nodes={self._graph.n_nodes}, n_edges={self._graph.n_edges})"

@@ -53,6 +53,7 @@ from repro.sampling.backends import WorldBackend, resolve_backend
 from repro.sampling.parallel import ParallelSampler, ensure_seed_sequence
 from repro.sampling.store import WorldStore, unpack_mask_columns
 from repro.sampling.worlds import (
+    block_bfs_distances,
     block_bfs_reached,
     world_block_csr,
 )
@@ -346,6 +347,37 @@ class MonteCarloOracle:
             raise OracleError("the oracle has no samples; call ensure_samples() first")
 
     # ------------------------------------------------------------------
+    # Chunked pool access (the workload surface)
+    # ------------------------------------------------------------------
+    #
+    # ``repro.workloads`` consumers iterate the pool chunk by chunk so
+    # every query family (clustering, k-median/k-center, centrality)
+    # shares one set of sampled worlds: a pool warmed by any workload is
+    # warm for all of them, and a store-served chunk loads its masks
+    # from the store — never from the sampler.
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks currently in the pool."""
+        return len(self._label_chunks)
+
+    def chunk_worlds(self, index: int) -> int:
+        """Worlds held by chunk ``index``."""
+        return self._label_chunks[index].shape[0]
+
+    def chunk_masks(self, index: int) -> np.ndarray:
+        """Boolean ``(worlds, m)`` edge masks of chunk ``index``.
+
+        Store-served chunks materialize their packed columns from the
+        store on first touch (a read, not a resample).
+        """
+        return self._masks_chunk(index)
+
+    def chunk_csr(self, index: int) -> sp.csr_matrix:
+        """Block-diagonal CSR adjacency of chunk ``index`` (cached)."""
+        return self._csr_chunk(index)
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
@@ -424,6 +456,50 @@ class MonteCarloOracle:
         matrix = np.asarray((z @ z.T).todense()) / r
         np.fill_diagonal(matrix, 1.0)
         return matrix
+
+    def expected_distances(self, sources=None) -> np.ndarray:
+        """Estimated expected hop distance from each source to every node.
+
+        Returns an ``(s, n)`` float64 matrix over the whole pool.  In a
+        world where a pair is *disconnected* its distance is taken to be
+        ``n_nodes`` — one more than any achievable hop count — so
+        expected distances are finite, well defined on disconnected
+        worlds, and each per-world distance (hence the expectation)
+        remains a metric.  This "disconnection penalty" convention is
+        shared by the exact-enumeration reference
+        (:mod:`repro.workloads.exact`), making the estimate directly
+        checkable against ground truth.
+
+        Cost: one block-diagonal BFS per (chunk, source) — all worlds
+        of a chunk are walked simultaneously.
+
+        Examples
+        --------
+        >>> from repro.graph.uncertain_graph import UncertainGraph
+        >>> g = UncertainGraph.from_edges([(0, 1, 1.0), (1, 2, 1.0)])
+        >>> oracle = MonteCarloOracle(g, seed=0)
+        >>> oracle.ensure_samples(10)
+        >>> oracle.expected_distances()[0].tolist()  # certain path 0-1-2
+        [0.0, 1.0, 2.0]
+        """
+        self._require_samples()
+        n = self._graph.n_nodes
+        if sources is None:
+            sources = np.arange(n, dtype=np.intp)
+        else:
+            sources = np.asarray(sources, dtype=np.intp)
+            if len(sources) and (sources.min() < 0 or sources.max() >= n):
+                raise IndexError("expected_distances sources out of range")
+        sums = np.zeros((len(sources), n), dtype=np.float64)
+        for index in range(self.n_chunks):
+            rows = self.chunk_worlds(index)
+            block = self._csr_chunk(index)
+            for pos, source in enumerate(sources):
+                dist = block_bfs_distances(block, n, rows, int(source))
+                dist = dist.astype(np.float64)
+                dist[dist < 0] = float(n)
+                sums[pos] += dist.sum(axis=0)
+        return sums / self._n_samples
 
     def __repr__(self) -> str:
         return (

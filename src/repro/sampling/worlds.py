@@ -82,6 +82,44 @@ def _gather_ranges(indptr: np.ndarray, nodes: np.ndarray) -> np.ndarray:
     return np.repeat(starts - shifts, lengths) + np.arange(total, dtype=np.int64)
 
 
+def block_bfs_distances(
+    block: sp.csr_matrix,
+    n_nodes: int,
+    r: int,
+    source: int,
+    max_depth: int | None = None,
+) -> np.ndarray:
+    """Hop distances from ``source`` in each of ``r`` worlds.
+
+    Same frontier-driven traversal as :func:`block_bfs_reached`, but
+    recording the BFS level at which each vertex is first reached.
+    Returns an ``(r, n_nodes)`` int32 matrix; unreachable nodes (and,
+    with ``max_depth``, nodes further than that many hops) are ``-1``.
+    This is the workhorse of the expected-distance queries behind the
+    k-median / k-center workloads: one call walks *every* sampled world
+    simultaneously.
+    """
+    if max_depth is not None and max_depth < 0:
+        raise ValueError(f"max_depth must be non-negative, got {max_depth}")
+    total = r * n_nodes
+    dist = np.full(total, -1, dtype=np.int32)
+    frontier = source + np.arange(r, dtype=np.int64) * n_nodes
+    dist[frontier] = 0
+    indptr, indices = block.indptr, block.indices
+    depth = 0
+    while len(frontier):
+        if max_depth is not None and depth >= max_depth:
+            break
+        neighbours = indices[_gather_ranges(indptr, frontier)]
+        neighbours = neighbours[dist[neighbours] < 0]
+        if len(neighbours) == 0:
+            break
+        frontier = np.unique(neighbours)
+        depth += 1
+        dist[frontier] = depth
+    return dist.reshape(r, n_nodes)
+
+
 def block_bfs_reached(
     block: sp.csr_matrix,
     n_nodes: int,

@@ -50,6 +50,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import itertools
+import math
 import sys
 import threading
 import time
@@ -69,8 +70,9 @@ from repro.service.cache import OracleCache
 from repro.service.http import EventStream, HttpServer, Request, Router, sse_event
 from repro.service.jobs import TERMINAL_STATES, JobQueue, paginate_jobs
 from repro.service.workers import MAX_REQUEST_SAMPLES, ProcessJobQueue, execute_clustering
+from repro.workloads.measures import MEASURE_NAMES
 
-_JOB_ALGORITHMS = ("mcp", "acp", "mcl", "gmm")
+_JOB_ALGORITHMS = ("mcp", "acp", "mcl", "gmm", "kmedian", "kcenter", "centrality")
 
 #: Ancestor revisions the registry keeps per graph for pool derivation.
 #: Nearest first; the oracle cache derives from the first one whose
@@ -272,11 +274,14 @@ def normalize_job_params(body: dict) -> dict:
     True
     >>> normalize_job_params({"graph": "toy", "algorithm": "mcl"})["algorithm"]
     'mcl'
+    >>> normalize_job_params({"graph": "toy", "algorithm": "centrality",
+    ...                       "measure": "harmonic"})["measure"]
+    'harmonic'
     """
     if not isinstance(body, dict):
         raise ServiceError("job body must be a JSON object")
     known = {"graph", "algorithm", "k", "seed", "depth", "samples",
-             "backend", "chunk_size", "inflation"}
+             "backend", "chunk_size", "inflation", "measure", "tol"}
     unknown = set(body) - known
     if unknown:
         raise ServiceError(f"unknown job fields: {sorted(unknown)}")
@@ -285,8 +290,11 @@ def normalize_job_params(body: dict) -> dict:
         raise ServiceError("job field 'graph' (string) is required")
     algorithm = body.get("algorithm", "mcp")
     if algorithm not in _JOB_ALGORITHMS:
+        # Stable code so clients can branch on "this algorithm does not
+        # exist here" without parsing the message.
         raise ServiceError(
-            f"algorithm must be one of {_JOB_ALGORITHMS}, got {algorithm!r}"
+            f"algorithm must be one of {_JOB_ALGORITHMS}, got {algorithm!r}",
+            code="unknown_algorithm",
         )
     params = {"graph": graph, "algorithm": algorithm}
     if algorithm == "mcl":
@@ -295,12 +303,28 @@ def normalize_job_params(body: dict) -> dict:
         except (TypeError, ValueError):
             raise ServiceError("inflation must be a number") from None
         return params
-    params["k"] = _positive_int(body.get("k", 10), "k")
+    if algorithm != "centrality":
+        params["k"] = _positive_int(body.get("k", 10), "k")
     params["seed"] = int(_positive_int(body.get("seed", 0), "seed", minimum=0))
     if algorithm == "gmm":
         return params
-    depth = body.get("depth")
-    params["depth"] = None if depth is None else _positive_int(depth, "depth")
+    if algorithm == "centrality":
+        measure = body.get("measure", "degree")
+        if measure not in MEASURE_NAMES:
+            raise ServiceError(
+                f"measure must be one of {MEASURE_NAMES}, got {measure!r}"
+            )
+        params["measure"] = measure
+        try:
+            tol = float(body.get("tol", 0.05))
+        except (TypeError, ValueError):
+            raise ServiceError("tol must be a number") from None
+        if not math.isfinite(tol) or tol <= 0:
+            raise ServiceError(f"tol must be a positive number, got {tol}")
+        params["tol"] = tol
+    elif algorithm in ("mcp", "acp"):
+        depth = body.get("depth")
+        params["depth"] = None if depth is None else _positive_int(depth, "depth")
     # The progressive schedule starts at 50 worlds (PracticalSchedule's
     # min_samples), so a smaller budget would only fail inside the
     # worker — reject it here as the request error it is.

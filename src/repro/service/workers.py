@@ -55,6 +55,11 @@ from repro.core.mcp import mcp_clustering
 from repro.exceptions import JobCancelledError, ServiceError
 from repro.sampling.sizes import PracticalSchedule
 from repro.service.jobs import TERMINAL_STATES, Job, canonical_key, job_number
+from repro.workloads import (
+    expected_centrality,
+    kcenter_clustering,
+    kmedian_clustering,
+)
 
 #: Upper bound on request-supplied sample budgets.  This is the
 #: library's default ``max_samples`` oracle guard: letting a request
@@ -90,9 +95,10 @@ def execute_clustering(job_id: str, params: dict, graph, ancestors, cache, *,
     sampling_workers:
         Sampling parallelism passed to the leased oracle.
     cancel_check, progress:
-        Threaded through to :func:`~repro.core.mcp.mcp_clustering` /
-        :func:`~repro.core.acp.acp_clustering`; ``progress`` receives
-        one JSON-safe dict per threshold guess.
+        Threaded through to the algorithm driver (mcp/acp, the
+        k-median/k-center/centrality workloads); ``progress`` receives
+        one JSON-safe dict per threshold guess (mcp/acp), greedy round
+        (kmedian/kcenter) or sampling round (centrality).
     """
     algorithm = params["algorithm"]
     started = time.perf_counter()
@@ -140,6 +146,73 @@ def execute_clustering(job_id: str, params: dict, graph, ancestors, cache, *,
         else:
             payload["avg_prob"] = result.avg_prob_estimate
             payload["phi_best"] = result.phi_best
+    elif algorithm in ("kmedian", "kcenter"):
+        with cache.lease(
+            graph,
+            seed=params["seed"],
+            chunk_size=params["chunk_size"],
+            max_samples=MAX_REQUEST_SAMPLES,
+            backend=params["backend"],
+            workers=sampling_workers,
+            ancestors=ancestors,
+        ) as oracle:
+            run = kmedian_clustering if algorithm == "kmedian" else kcenter_clustering
+            result = run(
+                None,
+                params["k"],
+                oracle=oracle,
+                samples=params["samples"],
+                cancel_check=cancel_check,
+                progress=progress,
+            )
+            stats = oracle.cache_stats
+        clustering = result.clustering
+        payload.update(
+            k=params["k"],
+            seed=params["seed"],
+            objective=result.objective,
+            samples_used=result.samples_used,
+            n_rounds=result.n_rounds,
+            worlds_cached=stats["worlds_cached"],
+            worlds_sampled=stats["worlds_sampled"],
+            warm=stats["worlds_sampled"] == 0 and stats["worlds_cached"] > 0,
+            pool_digest=oracle.pool_digest,
+        )
+    elif algorithm == "centrality":
+        with cache.lease(
+            graph,
+            seed=params["seed"],
+            chunk_size=params["chunk_size"],
+            max_samples=MAX_REQUEST_SAMPLES,
+            backend=params["backend"],
+            workers=sampling_workers,
+            ancestors=ancestors,
+        ) as oracle:
+            result = expected_centrality(
+                None,
+                measure=params["measure"],
+                oracle=oracle,
+                samples=params["samples"],
+                tol=params["tol"],
+                cancel_check=cancel_check,
+                progress=progress,
+            )
+            stats = oracle.cache_stats
+        clustering = None
+        payload.update(
+            measure=params["measure"],
+            seed=params["seed"],
+            tol=params["tol"],
+            values=np.asarray(result.values, dtype=float).tolist(),
+            half_width=result.half_width,
+            converged=result.converged,
+            samples_used=result.samples_used,
+            n_rounds=result.n_rounds,
+            worlds_cached=stats["worlds_cached"],
+            worlds_sampled=stats["worlds_sampled"],
+            warm=stats["worlds_sampled"] == 0 and stats["worlds_cached"] > 0,
+            pool_digest=oracle.pool_digest,
+        )
     elif algorithm == "mcl":
         result = mcl_clustering(graph, inflation=params["inflation"])
         clustering = result.clustering
@@ -149,8 +222,9 @@ def execute_clustering(job_id: str, params: dict, graph, ancestors, cache, *,
         payload.update(k=params["k"], seed=params["seed"])
     if cancel_check is not None:
         cancel_check()
-    payload["assignment"] = np.asarray(clustering.assignment).astype(int).tolist()
-    payload["centers"] = np.asarray(clustering.centers).astype(int).tolist()
+    if clustering is not None:
+        payload["assignment"] = np.asarray(clustering.assignment).astype(int).tolist()
+        payload["centers"] = np.asarray(clustering.centers).astype(int).tolist()
     payload["elapsed_s"] = time.perf_counter() - started
     return payload
 

@@ -1,0 +1,63 @@
+"""Uncertain-graph workloads over the shared world pool.
+
+Every workload here is a thin consumer of the same
+:class:`~repro.sampling.oracle.MonteCarloOracle` pool the clustering
+drivers sample — one set of packed masks serves clustering, k-median /
+k-center, and expected centrality alike, so warming the pool for any
+workload warms it for all of them and adding a workload never
+invalidates cached worlds.
+
+Query families
+--------------
+:func:`kmedian_clustering`, :func:`kcenter_clustering`
+    Probabilistic k-median / k-center under expected hop distance
+    (:mod:`repro.workloads.kclustering`).
+:func:`expected_centrality`
+    Per-node expected degree / harmonic closeness / betweenness with
+    progressive-sampling confidence stopping
+    (:mod:`repro.workloads.centrality`).
+:mod:`repro.workloads.exact`
+    Exact enumeration ground truth for every objective above.
+"""
+
+from repro.workloads.centrality import (
+    CentralityResult,
+    CentralityRound,
+    expected_centrality,
+)
+from repro.workloads.exact import (
+    exact_best_clustering,
+    exact_clustering_objective,
+    exact_expected_centrality,
+    exact_expected_distances,
+)
+from repro.workloads.kclustering import (
+    KClusteringResult,
+    RoundRecord,
+    kcenter_clustering,
+    kmedian_clustering,
+)
+from repro.workloads.measures import (
+    MEASURE_NAMES,
+    world_betweenness,
+    world_degrees,
+    world_harmonic,
+)
+
+__all__ = [
+    "CentralityResult",
+    "CentralityRound",
+    "KClusteringResult",
+    "MEASURE_NAMES",
+    "RoundRecord",
+    "exact_best_clustering",
+    "exact_clustering_objective",
+    "exact_expected_centrality",
+    "exact_expected_distances",
+    "expected_centrality",
+    "kcenter_clustering",
+    "kmedian_clustering",
+    "world_betweenness",
+    "world_degrees",
+    "world_harmonic",
+]

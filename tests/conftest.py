@@ -2,11 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import UncertainGraph
 from repro.sampling import ExactOracle
+
+#: Base offset for seed-parametrized tests.  The seed-sweep CI workflow
+#: runs the whole tier-1 suite at REPRO_TEST_SEED=0/1/2 so that
+#: seed-dependent assertions are exercised at shifted seeds, not just
+#: the ones they were written against.
+REPRO_TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", "0"))
+
+
+def sweep_seeds(count: int = 4) -> list[int]:
+    """Seeds ``REPRO_TEST_SEED .. REPRO_TEST_SEED + count - 1``."""
+    return [REPRO_TEST_SEED + i for i in range(count)]
 
 
 @pytest.fixture
