@@ -133,6 +133,29 @@ def record_benchmark(
     return path
 
 
+def record_extra(suite: str, key: str, value) -> Path:
+    """Merge one top-level extra key into the suite's artifact.
+
+    ``compare.py`` diffs only ``artifact["benchmarks"]``, so extras are
+    schema-compatible informational payload — e.g. the ``/v1/metrics``
+    snapshot the service suite embeds so a benchmark run records what
+    the service actually did, not just how fast.
+    """
+    path = bench_path(suite)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.exists():
+        artifact = load_artifact(path)
+    else:
+        artifact = {"schema": SCHEMA_VERSION, "suite": suite, "benchmarks": {}}
+    artifact[key] = value
+    tmp_path = path.with_suffix(".json.tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return path
+
+
 def record_pytest_benchmark(
     suite: str, name: str, benchmark, *, items: int | None = None, meta: dict | None = None
 ) -> Path:

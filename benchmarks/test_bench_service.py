@@ -28,9 +28,10 @@ import time
 
 import pytest
 
-from benchmarks.record import record_benchmark
+from benchmarks.record import record_benchmark, record_extra
 from repro.service import BackgroundServer, ClusterService
-from repro.service.loadgen import ServiceClient, run_job, run_mixed_load
+from repro.service.loadgen import ServiceClient, _quantile, run_job, run_mixed_load
+from repro.telemetry import parse_prometheus_text
 
 # k=2 on the krogan-like graph forces the threshold schedule well below
 # the first guess, so the cold job genuinely samples (the warm/cold gap
@@ -64,11 +65,13 @@ def test_job_cold_then_warm(server):
     async def go():
         client = await ServiceClient("127.0.0.1", server.port).connect()
         try:
+            # Tight polling so the warm cell measures the job, not the
+            # 20ms default poll quantum (warm jobs finish in ~5ms).
             begin = time.perf_counter()
-            cold = await run_job(client, JOB_PARAMS)
+            cold = await run_job(client, JOB_PARAMS, poll_interval=0.002)
             cold_seconds = time.perf_counter() - begin
             begin = time.perf_counter()
-            warm = await run_job(client, JOB_PARAMS)
+            warm = await run_job(client, JOB_PARAMS, poll_interval=0.002)
             warm_seconds = time.perf_counter() - begin
             return cold, cold_seconds, warm, warm_seconds
         finally:
@@ -114,14 +117,22 @@ def test_sustained_estimates(server):
 
     latencies = asyncio.run(go())
     assert latencies
+    latencies.sort()
     record_benchmark(
         "service", "estimate/sustained",
         seconds=SUSTAIN_SECONDS, items=len(latencies),
         meta={
             "concurrency": CONCURRENCY,
-            "latency_p50_s": sorted(latencies)[len(latencies) // 2],
+            "latency_p50_s": _quantile(latencies, 0.50),
+            "latency_p95_s": _quantile(latencies, 0.95),
+            "latency_p99_s": _quantile(latencies, 0.99),
         },
     )
+    # Embed the fleet metrics snapshot alongside the timing cells (a
+    # top-level extra key; compare.py ignores it).
+    status, text = _request_sync(server, "GET", "/v1/metrics")
+    assert status == 200
+    record_extra("service", "metrics", parse_prometheus_text(text))
 
 
 MIXED_JOBS = 8

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -50,6 +51,29 @@ from repro.workloads import (
 )
 
 _CLUSTER_ALGORITHMS = ("mcp", "acp", "mcl", "gmm", "kpt")
+
+
+def _print_profile(total_s: float, oracle) -> None:
+    """Print the per-run phase breakdown table (``--profile``).
+
+    The same ``timings`` breakdown the service reports per job (see
+    ``GET /v1/jobs/{id}``), computed from the run's oracle; algorithms
+    without an oracle (mcl/gmm/kpt) attribute everything to clustering.
+    """
+    from repro.service.workers import _phase_breakdown
+
+    phases = stats = None
+    if oracle is not None:
+        phases = oracle.phase_timings
+        stats = oracle.cache_stats
+    timings = _phase_breakdown(total_s, phases, stats)
+    print("phase         wall_ms", file=sys.stderr)
+    for name, key in (("sample", "sample_ms"), ("label", "label_ms"),
+                      ("store read", "store_read_ms"),
+                      ("cluster", "cluster_ms"), ("total", "total_ms")):
+        print(f"{name:<12} {timings[key]:>9.3f}", file=sys.stderr)
+    print(f"worlds sampled {timings['worlds_sampled']}", file=sys.stderr)
+    print(f"worlds reused  {timings['worlds_reused']}", file=sys.stderr)
 
 
 def _write_clustering(clustering: Clustering, graph, stream) -> None:
@@ -83,6 +107,7 @@ def _cmd_estimate(args) -> int:
     graph = read_uncertain_graph(args.graph, merge=args.merge)
     u = graph.index_of(args.u) if args.u in graph.node_labels else graph.index_of(_coerce(args.u))
     v = graph.index_of(args.v) if args.v in graph.node_labels else graph.index_of(_coerce(args.v))
+    started = time.perf_counter()
     oracle = MonteCarloOracle(
         graph, seed=args.seed, backend=args.backend, workers=args.workers,
         cache_dir=args.world_cache,
@@ -91,6 +116,8 @@ def _cmd_estimate(args) -> int:
     estimate = oracle.connection(u, v, depth=args.depth)
     suffix = f" (paths <= {args.depth})" if args.depth else ""
     print(f"Pr({args.u} ~ {args.v}){suffix} ~= {estimate:.4f}  [{args.samples} worlds]")
+    if args.profile:
+        _print_profile(time.perf_counter() - started, oracle)
     return 0
 
 
@@ -116,17 +143,28 @@ def _parse_workers(token: str):
 def _cmd_cluster(args) -> int:
     graph = read_uncertain_graph(args.graph, merge=args.merge)
     schedule = PracticalSchedule(max_samples=args.samples)
+    started = time.perf_counter()
+    oracle = None
+    if args.algorithm in ("mcp", "acp") and args.profile:
+        # Built explicitly (instead of inside the algorithm) so the
+        # profile table can read its phase timings afterwards.
+        oracle = MonteCarloOracle(
+            graph, seed=args.seed, backend=args.backend, workers=args.workers,
+            cache_dir=args.world_cache,
+        )
     if args.algorithm == "mcp":
         result = mcp_clustering(
-            graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule,
-            backend=args.backend, workers=args.workers, cache_dir=args.world_cache,
+            graph, args.k, oracle=oracle, seed=args.seed, depth=args.depth,
+            sample_schedule=schedule, backend=args.backend, workers=args.workers,
+            cache_dir=args.world_cache,
         )
         clustering = result.clustering
         print(f"mcp: k={args.k} min-prob~={result.min_prob_estimate:.3f} q={result.q_final:.4f}", file=sys.stderr)
     elif args.algorithm == "acp":
         result = acp_clustering(
-            graph, args.k, seed=args.seed, depth=args.depth, sample_schedule=schedule,
-            backend=args.backend, workers=args.workers, cache_dir=args.world_cache,
+            graph, args.k, oracle=oracle, seed=args.seed, depth=args.depth,
+            sample_schedule=schedule, backend=args.backend, workers=args.workers,
+            cache_dir=args.world_cache,
         )
         clustering = result.clustering
         print(f"acp: k={args.k} avg-prob~={result.avg_prob_estimate:.3f}", file=sys.stderr)
@@ -142,12 +180,15 @@ def _cmd_cluster(args) -> int:
     else:  # pragma: no cover - argparse restricts choices
         raise ReproError(f"unknown algorithm {args.algorithm}")
 
+    total_s = time.perf_counter() - started
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             _write_clustering(clustering, graph, handle)
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         _write_clustering(clustering, graph, sys.stdout)
+    if args.profile:
+        _print_profile(total_s, oracle)
     return 0
 
 
@@ -353,6 +394,7 @@ def _cmd_serve(args) -> int:
         admission=admission,
         shutdown_grace_s=args.grace,
         dataset_scale=args.dataset_scale,
+        trace_log=args.trace_log,
     )
     for name, path, graph in preloaded:
         service.graphs.register_graph(name, graph, source=path)
@@ -371,6 +413,7 @@ def _cmd_bench_serve(args) -> int:
         run_burst,
         run_load,
         run_mixed_load,
+        scrape_metrics,
         summarize,
         write_artifact,
     )
@@ -400,6 +443,8 @@ def _cmd_bench_serve(args) -> int:
                 args.url, graph=args.graph, count=args.burst, k=args.k,
                 seed=args.seed,
             )
+        # Scrape last so the snapshot reflects the whole run.
+        results["metrics"] = await scrape_metrics(args.url)
         return results
 
     results = asyncio.run(measure())
@@ -459,6 +504,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent world-store directory: sampled pools are reused "
         "across runs with the same (graph, seed, backend, chunk size)",
     )
+    estimate.add_argument(
+        "--profile", action="store_true",
+        help="print the phase breakdown (sample/label/store read/cluster "
+        "wall ms, worlds sampled vs reused) after the estimate",
+    )
     estimate.set_defaults(func=_cmd_estimate)
 
     cluster = sub.add_parser("cluster", help="cluster a .uel graph")
@@ -485,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--merge", default="error")
     cluster.add_argument("-o", "--output", default=None, help="write TSV here (default stdout)")
+    cluster.add_argument(
+        "--profile", action="store_true",
+        help="print the phase breakdown (sample/label/store read/cluster "
+        "wall ms, worlds sampled vs reused) after clustering",
+    )
     cluster.set_defaults(func=_cmd_cluster)
 
     for kind, objective in (("kmedian", "mean"), ("kcenter", "max")):
@@ -673,6 +728,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="scale used when a built-in dataset is first loaded",
     )
     serve.add_argument("--merge", default="error", help="duplicate-edge policy for --graph files")
+    serve.add_argument(
+        "--trace-log", default=None, metavar="PATH",
+        help="append one JSON span line per traced operation (HTTP "
+        "requests, jobs, threshold guesses) to this file; spans carry "
+        "the request's X-Request-Id as trace_id",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     bench_serve = sub.add_parser(

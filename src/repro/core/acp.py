@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.core.clustering import Clustering, complete_clustering
 from repro.core.common import resolve_oracle, resolve_sample_schedule, validate_common
 from repro.core.mcp import GuessRecord, _is_exact
@@ -141,6 +142,11 @@ def acp_clustering(
     def run_guess(q: float):
         if cancel_check is not None:
             cancel_check()
+        with telemetry.get_tracer().span("acp.guess", q=q) as span:
+            result = _run_guess_traced(q, span)
+        return result
+
+    def _run_guess_traced(q: float, span):
         oracle.ensure_samples(samples_for(q))
         result = min_partial(
             oracle,
@@ -160,6 +166,9 @@ def acp_clustering(
             covers_all=result.covers_all,
         )
         history.append(record)
+        span.set("samples", record.samples)
+        span.set("covered", record.covered)
+        span.set("covers_all", record.covers_all)
         if progress is not None:
             progress({"q": record.q, "samples": record.samples,
                       "covered": record.covered, "covers_all": record.covers_all})

@@ -44,9 +44,12 @@ oracle bit-identically.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import scipy.sparse as sp
 
+from repro import telemetry
 from repro.exceptions import OracleError
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.sampling.backends import WorldBackend, resolve_backend
@@ -160,6 +163,7 @@ class MonteCarloOracle:
         self._n_samples = 0
         self._worlds_cached = 0
         self._worlds_sampled = 0
+        self._store_read_s = 0.0
 
     # ------------------------------------------------------------------
     # Pool management
@@ -215,6 +219,23 @@ class MonteCarloOracle:
         }
 
     @property
+    def phase_timings(self) -> dict:
+        """Cumulative wall seconds per sampling phase, so far.
+
+        ``sample_s`` is mask drawing, ``label_s`` component labeling
+        (both from the attached :class:`ParallelSampler`), and
+        ``store_read_s`` the time spent serving worlds from the store
+        instead of sampling.  The service's per-job ``timings``
+        breakdown is the delta of this dict across one job.
+        """
+        return {
+            "sample_s": self._sampler.sample_seconds,
+            "label_s": self._sampler.label_seconds,
+            "store_read_s": self._store_read_s,
+            "chunks": self._sampler.chunks_produced,
+        }
+
+    @property
     def packed_mask_nbytes(self) -> int:
         """Bytes of the *materialized* bit-packed mask chunks (1/8 of
         boolean).  Store-served chunks whose masks were never needed
@@ -246,23 +267,27 @@ class MonteCarloOracle:
                 f"requested {r} samples exceeds max_samples={self._max_samples}; "
                 "raise the budget or use a clamping sample schedule"
             )
+        tracer = telemetry.get_tracer()
         while self._n_samples < r:
             start = self._n_samples
             count = min(self._chunk_size, r - start)
-            labels = self._load_cached_labels(start, count)
-            if labels is not None:
-                packed = None  # masks stay in the store until a depth query
-                self._worlds_cached += labels.shape[0]
-            else:
-                # The sampler packs the chunk columnar for the store and
-                # pool either way; packed-capable backends (bitparallel)
-                # also label straight from the packed words.
-                packed, labels = self._sampler.sample_chunk_packed(
-                    self._seed_seq, start, count
-                )
-                self._worlds_sampled += count
-                if self._store is not None:
-                    self._store.append(self._pool_digest, start, packed, labels)
+            with tracer.span("oracle.chunk", start=start, count=count) as span:
+                labels = self._load_cached_labels(start, count)
+                if labels is not None:
+                    packed = None  # masks stay in the store until a depth query
+                    self._worlds_cached += labels.shape[0]
+                    span.set("source", "store")
+                else:
+                    # The sampler packs the chunk columnar for the store and
+                    # pool either way; packed-capable backends (bitparallel)
+                    # also label straight from the packed words.
+                    packed, labels = self._sampler.sample_chunk_packed(
+                        self._seed_seq, start, count
+                    )
+                    self._worlds_sampled += count
+                    span.set("source", "sampled")
+                    if self._store is not None:
+                        self._store.append(self._pool_digest, start, packed, labels)
             self._packed_chunks.append(packed)
             self._chunk_starts.append(start)
             self._label_chunks.append(labels)
@@ -281,6 +306,7 @@ class MonteCarloOracle:
         """
         if self._store is None:
             return None
+        started = time.perf_counter()
         try:
             available = self._store.count(self._pool_digest)
             if available <= start:
@@ -289,6 +315,8 @@ class MonteCarloOracle:
             return self._store.read_labels(self._pool_digest, start, start + take)
         except (OSError, ValueError, OracleError):
             return None
+        finally:
+            self._store_read_s += time.perf_counter() - started
 
     def close(self) -> None:
         """Release the sampler's worker pool (serial path: no-op)."""

@@ -52,16 +52,46 @@ dependency.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import OracleError
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.sampling.backends import BACKENDS, WorldBackend, resolve_backend
 from repro.sampling.store import pack_mask_columns
 from repro.utils.rng import ensure_seed_sequence
+
+_SAMPLER_CHUNKS = telemetry.get_registry().counter(
+    "repro_sampler_chunks_total",
+    "World chunks produced, by backend and execution path "
+    "(serial, pool, packed).",
+    ("backend", "path"),
+)
+_SAMPLER_WORLDS = telemetry.get_registry().counter(
+    "repro_sampler_worlds_total",
+    "Worlds drawn and labeled, by backend and execution path.",
+    ("backend", "path"),
+)
+_SAMPLER_SAMPLE_SECONDS = telemetry.get_registry().counter(
+    "repro_sampler_sample_seconds_total",
+    "Wall seconds drawing edge masks, by backend (the process-pool "
+    "path fuses drawing and labeling; its whole wall is counted here).",
+    ("backend",),
+)
+_SAMPLER_LABEL_SECONDS = telemetry.get_registry().counter(
+    "repro_sampler_label_seconds_total",
+    "Wall seconds labeling components, by backend.",
+    ("backend",),
+)
+_SAMPLER_CHUNK_SECONDS = telemetry.get_registry().histogram(
+    "repro_sampler_chunk_seconds",
+    "Per-chunk wall time (sample + label), by backend and path.",
+    ("backend", "path"),
+)
 
 __all__ = [
     "DEFAULT_SHARD_WORLDS",
@@ -386,6 +416,25 @@ class ParallelSampler:
         self._pool_broken = False
         self._edge_states: dict = {}
         self._edge_states_root: tuple | None = None
+        #: Cumulative phase wall time of this sampler instance, the
+        #: source of the per-job ``timings`` breakdown (the global
+        #: telemetry counters aggregate the same numbers fleet-wide).
+        self.sample_seconds = 0.0
+        self.label_seconds = 0.0
+        self.chunks_produced = 0
+
+    def _record_chunk(self, path: str, worlds: int,
+                      sample_s: float, label_s: float) -> None:
+        backend = self._backend.name
+        self.sample_seconds += sample_s
+        self.label_seconds += label_s
+        self.chunks_produced += 1
+        _SAMPLER_CHUNKS.labels(backend=backend, path=path).inc()
+        _SAMPLER_WORLDS.labels(backend=backend, path=path).inc(worlds)
+        _SAMPLER_SAMPLE_SECONDS.labels(backend=backend).inc(sample_s)
+        _SAMPLER_LABEL_SECONDS.labels(backend=backend).inc(label_s)
+        _SAMPLER_CHUNK_SECONDS.labels(backend=backend, path=path).observe(
+            sample_s + label_s)
 
     @property
     def backend(self) -> WorldBackend:
@@ -456,6 +505,7 @@ class ParallelSampler:
         if count >= 2 * self._shard_worlds and self._parallelizable():
             pool = self._ensure_pool()
             if pool is not None:
+                started = time.perf_counter()
                 try:
                     parts = list(
                         pool.map(
@@ -468,6 +518,10 @@ class ParallelSampler:
                     )
                     masks = np.concatenate([part[0] for part in parts], axis=0)
                     labels = np.concatenate([part[1] for part in parts], axis=0)
+                    # Workers fuse drawing and labeling, so the split is
+                    # unobservable here; the whole wall counts as sampling.
+                    self._record_chunk("pool", count,
+                                       time.perf_counter() - started, 0.0)
                     return masks, labels
                 except Exception as error:
                     self._mark_broken(error)
@@ -498,6 +552,7 @@ class ParallelSampler:
         if root_key != self._edge_states_root:
             self._edge_states = {}
             self._edge_states_root = root_key
+        started = time.perf_counter()
         masks = sample_mask_rows(
             self._graph.edge_src,
             self._graph.edge_dst,
@@ -508,16 +563,21 @@ class ParallelSampler:
             state_cache=self._edge_states,
         )
         packed = pack_mask_columns(masks)
+        sampled_at = time.perf_counter()
         # One packed labeling call per chunk (mirrors the serial boolean
         # path), so instrumented packed backends observe the same
         # progressive-sampling growth steps.
-        return packed, packed_labeler(self._graph, packed, count)
+        labels = packed_labeler(self._graph, packed, count)
+        self._record_chunk("packed", count, sampled_at - started,
+                           time.perf_counter() - sampled_at)
+        return packed, labels
 
     def _sample_serial(self, root, start, count) -> tuple[np.ndarray, np.ndarray]:
         root_key = (root.entropy, tuple(root.spawn_key))
         if root_key != self._edge_states_root:
             self._edge_states = {}
             self._edge_states_root = root_key
+        started = time.perf_counter()
         masks = sample_mask_rows(
             self._graph.edge_src,
             self._graph.edge_dst,
@@ -527,9 +587,13 @@ class ParallelSampler:
             count,
             state_cache=self._edge_states,
         )
+        sampled_at = time.perf_counter()
         # One labeling call per chunk, so instrumented backends observe
         # exactly the progressive-sampling growth steps.
-        return masks, self._backend.component_labels(self._graph, masks)
+        labels = self._backend.component_labels(self._graph, masks)
+        self._record_chunk("serial", count, sampled_at - started,
+                           time.perf_counter() - sampled_at)
+        return masks, labels
 
     def close(self) -> None:
         """Shut down the worker pool (no-op on the serial path)."""

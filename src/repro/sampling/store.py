@@ -71,15 +71,44 @@ import os
 import re
 import shutil
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import WorldStoreError
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.utils.rng import ensure_seed_sequence
+
+_STORE_POOLS = telemetry.get_registry().counter(
+    "repro_store_pools_registered_total",
+    "World pools attached to a store (new pool objects, not lookups).",
+)
+_STORE_WORLDS_READ = telemetry.get_registry().counter(
+    "repro_store_worlds_read_total",
+    "Worlds served from the store instead of being re-sampled.",
+)
+_STORE_BYTES_READ = telemetry.get_registry().counter(
+    "repro_store_bytes_read_total",
+    "Bytes of masks and labels served from the store.",
+)
+_STORE_WORLDS_APPENDED = telemetry.get_registry().counter(
+    "repro_store_worlds_appended_total",
+    "Freshly sampled worlds appended to the store.",
+)
+_STORE_BYTES_APPENDED = telemetry.get_registry().counter(
+    "repro_store_bytes_appended_total",
+    "Bytes of masks and labels appended to the store.",
+)
+_STORE_FLOCK_WAIT = telemetry.get_registry().histogram(
+    "repro_store_flock_wait_seconds",
+    "Time spent waiting for the advisory pool write lock (contention "
+    "between concurrent appenders).",
+    buckets=(0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+)
 
 __all__ = [
     "WorldStore",
@@ -117,7 +146,9 @@ def _pool_write_lock(directory: Path):
         yield
         return
     with open(directory / _LOCK_NAME, "a+b") as handle:
+        waited = time.perf_counter()
         fcntl.flock(handle, fcntl.LOCK_EX)
+        _STORE_FLOCK_WAIT.observe(time.perf_counter() - waited)
         try:
             yield
         finally:
@@ -605,6 +636,7 @@ class WorldStore:
                 return digest
             if self._cache_dir is None:
                 self._pools[digest] = _MemoryPool(meta)
+                _STORE_POOLS.inc()
             else:
                 # Disk pools are (re-)validated on every register, even
                 # when _scan_disk already listed them: scanning only
@@ -612,6 +644,8 @@ class WorldStore:
                 # (reset, never crash) must hold for oracle attachment.
                 directory = self._cache_dir / digest
                 disk_meta = self._load_valid_meta(directory, meta)
+                if digest not in self._pools:
+                    _STORE_POOLS.inc()
                 self._pools[digest] = _DiskPool(directory, disk_meta)
         return digest
 
@@ -702,7 +736,10 @@ class WorldStore:
                 raise WorldStoreError(
                     f"read range [{start}, {stop}) outside stored pool of {pool.count} worlds"
                 )
-            return pool.read(start, stop)
+            packed_cols, labels = pool.read(start, stop)
+        _STORE_WORLDS_READ.inc(stop - start)
+        _STORE_BYTES_READ.inc(packed_cols.nbytes + labels.nbytes)
+        return packed_cols, labels
 
     def read_labels(self, digest: str, start: int, stop: int) -> np.ndarray:
         """Labels only, worlds ``[start, stop)`` — no mask bytes touched.
@@ -719,7 +756,10 @@ class WorldStore:
                 raise WorldStoreError(
                     f"read range [{start}, {stop}) outside stored pool of {pool.count} worlds"
                 )
-            return pool.read_labels(start, stop)
+            labels = pool.read_labels(start, stop)
+        _STORE_WORLDS_READ.inc(stop - start)
+        _STORE_BYTES_READ.inc(labels.nbytes)
+        return labels
 
     def append(self, digest: str, start: int, packed_cols: np.ndarray, labels: np.ndarray) -> int:
         """Append worlds ``[start, start + rows)``; returns the new count.
@@ -767,10 +807,10 @@ class WorldStore:
                     if skip < rows:
                         if not (pool.directory / _META_NAME).exists():
                             _write_meta(pool.directory, pool.meta)
-                        pool.append(
-                            _slice_block_worlds(packed_cols, rows, skip, rows),
-                            labels[skip:],
-                        )
+                        block = _slice_block_worlds(packed_cols, rows, skip, rows)
+                        pool.append(block, labels[skip:])
+                        _STORE_WORLDS_APPENDED.inc(rows - skip)
+                        _STORE_BYTES_APPENDED.inc(block.nbytes + labels[skip:].nbytes)
                 return pool.count
             if start > pool.count:
                 raise WorldStoreError(
@@ -778,9 +818,10 @@ class WorldStore:
                 )
             skip = pool.count - start
             if skip < rows:
-                pool.append(
-                    _slice_block_worlds(packed_cols, rows, skip, rows), labels[skip:]
-                )
+                block = _slice_block_worlds(packed_cols, rows, skip, rows)
+                pool.append(block, labels[skip:])
+                _STORE_WORLDS_APPENDED.inc(rows - skip)
+                _STORE_BYTES_APPENDED.inc(block.nbytes + labels[skip:].nbytes)
             return pool.count
 
     # ------------------------------------------------------------------

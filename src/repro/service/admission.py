@@ -34,15 +34,29 @@ import threading
 import time
 from collections import OrderedDict
 
+from repro import telemetry
 from repro.exceptions import ServiceError
 
 #: Distinct clients tracked before the oldest bucket is evicted.
 _MAX_TRACKED_CLIENTS = 1024
 
-#: Paths exempt from rate limiting (probes must always answer).
+#: Paths exempt from rate limiting (probes and scrapes must always
+#: answer — a monitoring pull must not consume a client's tokens).
 EXEMPT_PATHS = frozenset({
     "/healthz", "/v1/healthz", "/version", "/v1/version",
+    "/metrics", "/v1/metrics",
 })
+
+_REJECTIONS = telemetry.get_registry().counter(
+    "repro_admission_rejections_total",
+    "Requests rejected 429, by reason (rate_limit, queue_full, "
+    "client_jobs).",
+    ("reason",),
+)
+_TRACKED_CLIENTS = telemetry.get_registry().gauge(
+    "repro_admission_tracked_clients",
+    "Distinct clients currently holding a token bucket.",
+)
 
 
 class TokenBucket:
@@ -102,6 +116,7 @@ class RateLimiter:
             self._buckets.move_to_end(client)
             while len(self._buckets) > _MAX_TRACKED_CLIENTS:
                 self._buckets.popitem(last=False)
+            _TRACKED_CLIENTS.set(len(self._buckets))
             return bucket.acquire()
 
 
@@ -150,6 +165,7 @@ class AdmissionControl:
             return
         retry_after = self._limiter.check(request.client_key)
         if retry_after is not None:
+            _REJECTIONS.labels(reason="rate_limit").inc()
             raise _too_many(
                 f"rate limit exceeded for client {request.client_key!r}", retry_after
             )
@@ -163,12 +179,14 @@ class AdmissionControl:
         """
         if self.max_queued is not None and snapshot["queued"] >= self.max_queued:
             backlog = snapshot["queued"] + snapshot["running"]
+            _REJECTIONS.labels(reason="queue_full").inc()
             raise _too_many(
                 f"job queue is full ({snapshot['queued']} queued, bound {self.max_queued})",
                 backlog / max(snapshot["workers"], 1),
             )
         if (self.max_jobs_per_client is not None
                 and snapshot["client_active"] >= self.max_jobs_per_client):
+            _REJECTIONS.labels(reason="client_jobs").inc()
             raise _too_many(
                 f"client has {snapshot['client_active']} jobs in flight "
                 f"(bound {self.max_jobs_per_client})",

@@ -24,6 +24,7 @@ GET    ``/v1/jobs/{id}/events``          job progress stream (SSE)
 GET    ``/v1/jobs/{id}/result``          job result (409 until ``done``)
 DELETE ``/v1/jobs/{id}``                 cancel a job
 GET    ``/v1/cache``                     oracle-cache statistics
+GET    ``/v1/metrics``                   Prometheus text metrics (whole fleet)
 POST   ``/v1/shutdown``                  drain in-flight jobs, then stop
 ====== ================================= ======================================
 
@@ -58,7 +59,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import __version__
+from repro import __version__, telemetry
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.exceptions import GraphValidationError, JobCancelledError, ReproError, ServiceError
 from repro.graph.io import parse_uncertain_graph_text, probability_error
@@ -67,7 +68,14 @@ from repro.sampling.backends import BACKEND_NAMES
 from repro.sampling.store import WorldStore
 from repro.service.admission import AdmissionControl
 from repro.service.cache import OracleCache
-from repro.service.http import EventStream, HttpServer, Request, Router, sse_event
+from repro.service.http import (
+    EventStream,
+    HttpServer,
+    Request,
+    Response,
+    Router,
+    sse_event,
+)
 from repro.service.jobs import TERMINAL_STATES, JobQueue, paginate_jobs
 from repro.service.workers import MAX_REQUEST_SAMPLES, ProcessJobQueue, execute_clustering
 from repro.workloads.measures import MEASURE_NAMES
@@ -373,6 +381,11 @@ class ClusterService:
         Built-in dataset names to pre-register as lazy loaders.
     dataset_scale:
         ``scale=`` used when a built-in dataset is first loaded.
+    trace_log:
+        Optional span-log path (JSON lines).  Configures the process
+        tracer and is handed to every worker process, so one file
+        collects the whole fleet's spans (the per-line ``trace_id``
+        keeps requests apart).
     """
 
     def __init__(
@@ -387,8 +400,14 @@ class ClusterService:
         shutdown_grace_s: float = 5.0,
         datasets=DATASET_NAMES,
         dataset_scale: float = 1.0,
+        trace_log: str | None = None,
     ):
+        if trace_log is not None:
+            telemetry.get_tracer().configure(str(trace_log))
         self.cache = OracleCache(WorldStore(world_cache), max_bytes=cache_bytes)
+        # The one code path behind both GET /v1/cache and the
+        # repro_cache_* metric series — the two views cannot drift.
+        self.cache.attach_metrics()
         self.graphs = GraphRegistry()
         self.worker_processes = int(worker_processes)
         if self.worker_processes > 0:
@@ -397,6 +416,7 @@ class ClusterService:
                 world_cache=world_cache,
                 cache_bytes=cache_bytes,
                 sampling_workers=sampling_workers,
+                trace_log=None if trace_log is None else str(trace_log),
             )
         else:
             self.jobs = JobQueue(self._run_job, workers=job_workers)
@@ -406,6 +426,7 @@ class ClusterService:
         self._draining = False
         self._drain_task = None
         self._started = time.monotonic()
+        self._started_wall = time.time()
         self.shutdown_event = asyncio.Event()
         for name in datasets:
             self.graphs.register_loader(
@@ -451,6 +472,7 @@ class ClusterService:
         router.add("GET", "/v1/jobs/{id}/result", self._handle_job_result)
         router.add("DELETE", "/v1/jobs/{id}", self._handle_job_cancel)
         router.add("GET", "/v1/cache", self._handle_cache_stats)
+        router.add("GET", "/v1/metrics", self._handle_metrics)
         router.add("POST", "/v1/shutdown", self._handle_shutdown)
         return router
 
@@ -485,10 +507,13 @@ class ClusterService:
         states = {}
         for job in self.jobs.list():
             states[job.status] = states.get(job.status, 0) + 1
+        uptime = time.monotonic() - self._started
         return 200, {
             "status": "draining" if self._draining else "ok",
             "version": __version__,
-            "uptime_s": time.monotonic() - self._started,
+            "started_at": self._started_wall,
+            "uptime_seconds": uptime,
+            "uptime_s": uptime,  # pre-telemetry spelling, kept for clients
             "graphs": len(self.graphs),
             "jobs": states,
             "workers": self.jobs.workers,
@@ -502,6 +527,19 @@ class ClusterService:
         # With worker processes this reports the front door's cache
         # (estimates); each worker holds its own, not aggregated here.
         return 200, self.cache.stats()
+
+    async def _handle_metrics(self, request: Request):
+        """``GET /v1/metrics``: the whole fleet, Prometheus text format.
+
+        In process mode the registry already holds every worker's
+        shipped counter/histogram deltas (merged by the event drainer),
+        so one scrape of the front door covers the fleet.
+        """
+        return Response(
+            200,
+            telemetry.get_registry().render(),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
 
     async def _handle_shutdown(self, request: Request):
         """``POST /v1/shutdown``: drain in-flight jobs, then stop.
@@ -760,7 +798,8 @@ class ClusterService:
         )
         job, coalesced = self.jobs.submit(
             params, key_suffix=f"rev{revision}", context=(graph, ancestors),
-            client=request.client_key, admit=self.admission.admit_job,
+            client=request.client_key, trace_id=request.request_id,
+            admit=self.admission.admit_job,
         )
         return 202, {"job": job.id, "status": job.status, "coalesced": coalesced}
 

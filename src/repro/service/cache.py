@@ -33,15 +33,43 @@ cold sampling (never a crash, never wrong worlds).
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import Counter, OrderedDict
 from contextlib import contextmanager
 
+from repro import telemetry
 from repro.exceptions import WorldStoreError
 from repro.sampling.backends import resolve_backend
 from repro.sampling.deltas import derive_pool
 from repro.sampling.oracle import MonteCarloOracle
 from repro.sampling.store import WorldStore, pool_fingerprint
 from repro.utils.rng import ensure_seed_sequence
+
+# One code path for the two observability views: ``GET /v1/cache``
+# serves ``OracleCache.stats()`` directly, and these series are set
+# *from the same stats() snapshot* by a scrape-time collector (see
+# :meth:`OracleCache.attach_metrics`) — the endpoint and the metrics
+# cannot drift.
+_CACHE_COUNTER_KEYS = (
+    "leases", "warm_leases", "evictions", "worlds_cached",
+    "worlds_sampled", "pools_derived", "worlds_derived",
+)
+_CACHE_COUNTERS = {
+    # local_only: mirrored from stats() per process — fleet-summing
+    # them would break the pinned equality with GET /v1/cache.
+    key: telemetry.get_registry().counter(
+        f"repro_cache_{key}_total",
+        f"Oracle-cache ``{key}`` (mirrors GET /v1/cache stats()).",
+        local_only=True,
+    )
+    for key in _CACHE_COUNTER_KEYS
+}
+_CACHE_POOLS = telemetry.get_registry().gauge(
+    "repro_cache_pools", "World pools currently held by the oracle cache.")
+_CACHE_BYTES = telemetry.get_registry().gauge(
+    "repro_cache_bytes", "Current pool footprint in bytes (masks + labels).")
+_CACHE_MAX_BYTES = telemetry.get_registry().gauge(
+    "repro_cache_max_bytes", "Configured oracle-cache byte budget.")
 
 
 class OracleCache:
@@ -88,6 +116,32 @@ class OracleCache:
         self._worlds_sampled = 0
         self._pools_derived = 0
         self._worlds_derived = 0
+
+    def attach_metrics(self, registry=None) -> None:
+        """Mirror this cache's :meth:`stats` into the metrics registry.
+
+        Registers a scrape-time collector that copies one ``stats()``
+        snapshot into the ``repro_cache_*`` series, so ``GET
+        /v1/metrics`` and ``GET /v1/cache`` report identical totals by
+        construction.  The collector holds only a weak reference; a
+        dropped cache stops updating the series without pinning memory.
+        """
+        if registry is None:
+            registry = telemetry.get_registry()
+        ref = weakref.ref(self)
+
+        def collect() -> None:
+            cache = ref()
+            if cache is None:
+                return
+            stats = cache.stats()
+            for key in _CACHE_COUNTER_KEYS:
+                _CACHE_COUNTERS[key].set_total(stats[key])
+            _CACHE_POOLS.set(stats["pools"])
+            _CACHE_BYTES.set(stats["bytes"])
+            _CACHE_MAX_BYTES.set(stats["max_bytes"])
+
+        registry.register_collector(collect)
 
     @property
     def store(self) -> WorldStore:

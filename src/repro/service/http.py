@@ -39,13 +39,26 @@ import json
 import logging
 import os
 import re
+import time
 from collections.abc import Awaitable, Callable
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, urlsplit
 
+from repro import telemetry
 from repro.exceptions import ServiceError
 
 log = logging.getLogger("repro.service")
+
+_HTTP_REQUESTS = telemetry.get_registry().counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by route template, method, and status.",
+    ("route", "method", "status"),
+)
+_HTTP_LATENCY = telemetry.get_registry().histogram(
+    "repro_http_request_seconds",
+    "Request wall time by route template and method.",
+    ("route", "method"),
+)
 
 #: Upper bound on the request head (request line + headers).
 MAX_HEADER_BYTES = 64 * 1024
@@ -137,6 +150,10 @@ class Request:
     client: str = ""
     request_id: str = ""
     deprecated: bool = False
+    #: Canonical route template matched by the router (e.g.
+    #: ``/v1/jobs/{id}``) — the low-cardinality metrics label; empty
+    #: until resolved, and for 404/405 requests.
+    route: str = ""
 
     @property
     def client_key(self) -> str:
@@ -170,11 +187,18 @@ class Request:
 
 @dataclass
 class Response:
-    """A buffered JSON response: status, payload, extra headers."""
+    """A buffered response: status, payload, extra headers.
+
+    ``payload`` is JSON-encoded unless ``content_type`` is set, in
+    which case it must be ``str`` or ``bytes`` and is written verbatim
+    with that ``Content-Type`` (the Prometheus ``/v1/metrics`` endpoint
+    serves its text format this way).
+    """
 
     status: int
     payload: object
     headers: dict[str, str] = field(default_factory=dict)
+    content_type: str | None = None
 
     @classmethod
     def coerce(cls, result) -> "Response":
@@ -259,7 +283,7 @@ class Router:
     """
 
     def __init__(self, *, canonical_prefix: str | None = None):
-        self._routes: list[tuple[str, re.Pattern, Handler]] = []
+        self._routes: list[tuple[str, re.Pattern, str, Handler]] = []
         self._prefix = canonical_prefix
 
     def add(self, method: str, template: str, handler: Handler) -> None:
@@ -269,19 +293,19 @@ class Router:
         than ``/`` and are exposed through ``request.params``.
         """
         pattern = _PARAM_RE.sub(r"(?P<\1>[^/]+)", re.escape(template).replace(r"\{", "{").replace(r"\}", "}"))
-        self._routes.append((method.upper(), re.compile(f"^{pattern}$"), handler))
+        self._routes.append((method.upper(), re.compile(f"^{pattern}$"), template, handler))
 
     def _match(self, method: str, path: str):
-        """``(handler, params, path_known)`` for an exact path match."""
+        """``(handler, params, template, path_known)`` for an exact path match."""
         path_known = False
-        for route_method, pattern, handler in self._routes:
+        for route_method, pattern, template, handler in self._routes:
             match = pattern.match(path)
             if match is None:
                 continue
             path_known = True
             if route_method == method:
-                return handler, match.groupdict(), True
-        return None, None, path_known
+                return handler, match.groupdict(), template, True
+        return None, None, "", path_known
 
     def resolve(self, request: Request) -> Handler:
         """Return the handler for ``request``, filling ``request.params``.
@@ -289,20 +313,23 @@ class Router:
         Raises a 404 :class:`ServiceError` for an unknown path and a 405
         for a known path requested with the wrong method.  Legacy
         (un-prefixed) aliases of canonical routes resolve with
-        ``request.deprecated`` set.
+        ``request.deprecated`` set (and ``request.route`` naming the
+        canonical template, so metrics aggregate both spellings).
         """
-        handler, params, path_known = self._match(request.method, request.path)
+        handler, params, template, path_known = self._match(request.method, request.path)
         if handler is None and self._prefix and not request.path.startswith(self._prefix + "/"):
-            aliased, alias_params, alias_known = self._match(
+            aliased, alias_params, alias_template, alias_known = self._match(
                 request.method, self._prefix + request.path
             )
             if aliased is not None:
                 request.deprecated = True
                 request.params = alias_params
+                request.route = alias_template
                 return aliased
             path_known = path_known or alias_known
         if handler is not None:
             request.params = params
+            request.route = template
             return handler
         if path_known:
             raise ServiceError(f"method {request.method} not allowed for {request.path}", status=405)
@@ -316,10 +343,22 @@ def _serialize_headers(headers: dict[str, str]) -> str:
 def json_response(status: int, payload, headers: dict[str, str] | None = None) -> bytes:
     """Serialize one complete HTTP/1.1 response with a JSON body."""
     body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return _buffered_response(status, body, "application/json", headers)
+
+
+def text_response(status: int, text, content_type: str,
+                  headers: dict[str, str] | None = None) -> bytes:
+    """Serialize one complete HTTP/1.1 response with a verbatim body."""
+    body = text if isinstance(text, bytes) else str(text).encode("utf-8")
+    return _buffered_response(status, body, content_type, headers)
+
+
+def _buffered_response(status: int, body: bytes, content_type: str,
+                       headers: dict[str, str] | None) -> bytes:
     reason = _STATUS_REASONS.get(status, "OK")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         + _serialize_headers(headers or {})
         + "Connection: keep-alive\r\n\r\n"
@@ -518,10 +557,16 @@ class HttpServer:
                         writer.write(chunk)
                         await writer.drain()
                     break  # Connection: close is the stream framing
-                writer.write(json_response(
-                    response.status, response.payload,
-                    self._response_headers(request, response.headers),
-                ))
+                envelope = self._response_headers(request, response.headers)
+                if response.content_type is not None:
+                    writer.write(text_response(
+                        response.status, response.payload,
+                        response.content_type, envelope,
+                    ))
+                else:
+                    writer.write(json_response(
+                        response.status, response.payload, envelope,
+                    ))
                 await writer.drain()
                 if request.headers.get("connection", "").lower() == "close":
                     break
@@ -543,6 +588,21 @@ class HttpServer:
                 pass
 
     async def _dispatch(self, request: Request):
+        tracer = telemetry.get_tracer()
+        started = time.perf_counter()
+        with tracer.trace(request.request_id), \
+                tracer.span("http.request", method=request.method,
+                            path=request.path) as span:
+            response = await self._dispatch_inner(request)
+            span.set("status", response.status)
+        route = request.route or "unmatched"
+        _HTTP_REQUESTS.labels(route=route, method=request.method,
+                              status=str(response.status)).inc()
+        _HTTP_LATENCY.labels(route=route, method=request.method).observe(
+            time.perf_counter() - started)
+        return response
+
+    async def _dispatch_inner(self, request: Request):
         try:
             if self._middleware is not None:
                 await self._middleware(request)

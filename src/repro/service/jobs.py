@@ -50,7 +50,39 @@ from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.exceptions import JobCancelledError, ServiceError
+
+_JOBS_SUBMITTED = telemetry.get_registry().counter(
+    "repro_jobs_submitted_total",
+    "New jobs enqueued (coalesced resubmissions not included), by algorithm.",
+    ("algorithm",),
+)
+_JOBS_COALESCED = telemetry.get_registry().counter(
+    "repro_jobs_coalesced_total",
+    "Submissions folded onto an identical in-flight job, by algorithm.",
+    ("algorithm",),
+)
+_JOBS_COMPLETED = telemetry.get_registry().counter(
+    "repro_jobs_completed_total",
+    "Jobs reaching a terminal state, by algorithm and outcome.",
+    ("algorithm", "status"),
+)
+_JOB_SECONDS = telemetry.get_registry().histogram(
+    "repro_job_seconds",
+    "Job wall time from start to terminal state, by algorithm.",
+    ("algorithm",),
+    buckets=(0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0),
+)
+_QUEUE_DEPTH = telemetry.get_registry().gauge(
+    "repro_jobs_queue_depth",
+    "Jobs currently queued or running.",
+)
+
+
+def _algorithm_of(params: dict) -> str:
+    return str(params.get("algorithm", "unknown"))
+
 
 #: Every state a job can be in; the last three are terminal.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -114,6 +146,9 @@ class Job:
     coalesced: int = 0
     #: Admission-control identity of the submitting client.
     client: str = ""
+    #: Trace id of the submitting request (``X-Request-Id``); spans
+    #: emitted while the job runs nest under this trace.
+    trace_id: str = ""
     #: Replayable event log (lifecycle transitions + progress reports).
     events: list[dict] = field(default_factory=list)
     cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
@@ -140,10 +175,18 @@ class Job:
         return record
 
     def describe(self) -> dict:
-        """JSON-safe status summary (no result payload)."""
+        """JSON-safe status summary (no result payload).
+
+        ``timings`` is the per-job phase breakdown recorded by the
+        runner (sample/label/cluster wall ms, worlds sampled vs
+        reused); ``None`` until the job finishes successfully.
+        """
         elapsed = None
         if self.started_at is not None:
             elapsed = (self.finished_at or time.time()) - self.started_at
+        timings = None
+        if isinstance(self.result, dict):
+            timings = self.result.get("timings")
         return {
             "id": self.id,
             "status": self.status,
@@ -152,6 +195,7 @@ class Job:
             "error": self.error,
             "elapsed_s": elapsed,
             "events": len(self.events),
+            "timings": timings,
         }
 
 
@@ -229,13 +273,14 @@ class JobQueue:
         self._futures: dict[str, object] = {}
         self._inflight: dict[str, str] = {}  # canonical key -> job id
         self._ids = itertools.count(1)
+        self._active = 0  # queued + running (mirrors the depth gauge)
         self._client_active: Counter[str] = Counter()
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job"
         )
 
     def submit(self, params: dict, *, key_suffix: str = "",
-               context: object = None, client: str = "",
+               context: object = None, client: str = "", trace_id: str = "",
                admit: Callable[[dict], None] | None = None) -> tuple[Job, bool]:
         """Enqueue ``params`` (or coalesce onto an identical in-flight job).
 
@@ -260,16 +305,20 @@ class JobQueue:
             if existing_id is not None:
                 job = self._jobs[existing_id]
                 job.coalesced += 1
+                _JOBS_COALESCED.labels(algorithm=_algorithm_of(params)).inc()
                 return job, True
             if admit is not None:
                 admit(self._snapshot_locked(client))
             job = Job(id=f"job-{next(self._ids):06d}", key=key, params=dict(params),
-                      context=context, client=client)
+                      context=context, client=client, trace_id=trace_id)
             job.add_event("queued", {"params": job.params})
             self._jobs[job.id] = job
             self._inflight[key] = job.id
             if client:
                 self._client_active[client] += 1
+            _JOBS_SUBMITTED.labels(algorithm=_algorithm_of(params)).inc()
+            self._active += 1
+            _QUEUE_DEPTH.set(self._active)
             self._prune_locked()
             self._futures[job.id] = self._executor.submit(self._run, job)
         return job, False
@@ -349,7 +398,8 @@ class JobQueue:
             job.started_at = time.time()
         job.add_event("running")
         try:
-            result = self._runner(job)
+            with telemetry.get_tracer().trace(job.trace_id or job.id):
+                result = self._runner(job)
         except JobCancelledError as error:
             with self._lock:
                 self._finish_locked(job, "cancelled", error=str(error) or "cancelled")
@@ -374,7 +424,16 @@ class JobQueue:
             self._client_active[job.client] -= 1
             if self._client_active[job.client] <= 0:
                 del self._client_active[job.client]
-        job.add_event(status, {"status": status, "error": error})
+        algorithm = _algorithm_of(job.params)
+        _JOBS_COMPLETED.labels(algorithm=algorithm, status=status).inc()
+        _JOB_SECONDS.labels(algorithm=algorithm).observe(
+            job.finished_at - job.started_at)
+        self._active = max(self._active - 1, 0)
+        _QUEUE_DEPTH.set(self._active)
+        data = {"status": status, "error": error}
+        if isinstance(job.result, dict) and job.result.get("timings") is not None:
+            data["timings"] = job.result["timings"]
+        job.add_event(status, data)
 
     def _prune_locked(self) -> None:
         terminal = sorted(

@@ -44,6 +44,7 @@ from urllib.parse import urlsplit
 import numpy
 
 from repro.exceptions import ServiceError
+from repro.telemetry import parse_prometheus_text
 
 #: Job states after which polling stops.
 _TERMINAL = ("done", "failed", "cancelled")
@@ -126,7 +127,11 @@ class ServiceClient:
                 length = int(value.strip())
         self.last_headers = headers
         raw = await self._reader.readexactly(length) if length else b""
-        return status, (json.loads(raw) if raw else None)
+        if not raw:
+            return status, None
+        if headers.get("content-type", "").startswith("application/json"):
+            return status, json.loads(raw)
+        return status, raw.decode("utf-8")
 
 
 async def wait_ready(host: str, port: int, *, timeout: float = 30.0) -> None:
@@ -380,8 +385,28 @@ async def run_load(url: str, *, graph: str, algorithm: str = "mcp", k: int = 4,
         "requests_per_second": len(latencies) / duration,
         "latency_p50_s": _quantile(latencies, 0.50),
         "latency_p95_s": _quantile(latencies, 0.95),
+        "latency_p99_s": _quantile(latencies, 0.99),
         "concurrency": concurrency,
     }
+
+
+async def scrape_metrics(url: str) -> dict[str, float]:
+    """Scrape ``GET /v1/metrics`` and return the flattened series.
+
+    Keys are ``name`` or ``name{label="value",...}`` exactly as exposed
+    (see :func:`repro.telemetry.parse_prometheus_text`); the snapshot
+    rides along in the ``BENCH_service.json`` artifact so a benchmark
+    run records what the service actually did, not just how fast.
+    """
+    host, port = _split_url(url)
+    client = await ServiceClient(host, port).connect()
+    try:
+        status, text = await client.request("GET", "/v1/metrics")
+        if status != 200 or not isinstance(text, str):
+            raise ServiceError(f"metrics scrape failed ({status})", status=502)
+    finally:
+        await client.close()
+    return parse_prometheus_text(text)
 
 
 async def _toggle_edge(client: ServiceClient, graph: str, u: str, v: str,
@@ -556,6 +581,7 @@ def write_artifact(results: dict, path) -> None:
                 "concurrency": results["concurrency"],
                 "latency_p50_s": results["latency_p50_s"],
                 "latency_p95_s": results["latency_p95_s"],
+                "latency_p99_s": results.get("latency_p99_s", 0.0),
             },
         },
     }
@@ -581,6 +607,11 @@ def write_artifact(results: dict, path) -> None:
     burst = results.get("burst")
     if burst:
         artifact["burst"] = burst
+    metrics = results.get("metrics")
+    if metrics:
+        # Extra top-level key; compare.py diffs only "benchmarks", so
+        # the snapshot is schema-compatible informational payload.
+        artifact["metrics"] = metrics
     path = os.fspath(path)
     parent = os.path.dirname(path)
     if parent:
@@ -600,7 +631,8 @@ def summarize(results: dict) -> str:
         f"sustained estimates {results['requests_per_second']:8.1f} req/s "
         f"over {results['sustained_duration_s']:.1f}s x{results['concurrency']} "
         f"(p50 {results['latency_p50_s'] * 1000:.1f} ms, "
-        f"p95 {results['latency_p95_s'] * 1000:.1f} ms)",
+        f"p95 {results['latency_p95_s'] * 1000:.1f} ms, "
+        f"p99 {results.get('latency_p99_s', 0.0) * 1000:.1f} ms)",
     ]
     mixed = results.get("mixed")
     if mixed:

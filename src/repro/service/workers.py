@@ -48,13 +48,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.baselines.gmm import gmm_clustering
 from repro.baselines.mcl import mcl_clustering
 from repro.core.acp import acp_clustering
 from repro.core.mcp import mcp_clustering
 from repro.exceptions import JobCancelledError, ServiceError
 from repro.sampling.sizes import PracticalSchedule
-from repro.service.jobs import TERMINAL_STATES, Job, canonical_key, job_number
+from repro.service.jobs import (
+    _JOB_SECONDS,
+    _JOBS_COALESCED,
+    _JOBS_COMPLETED,
+    _JOBS_SUBMITTED,
+    _QUEUE_DEPTH,
+    TERMINAL_STATES,
+    Job,
+    _algorithm_of,
+    canonical_key,
+    job_number,
+)
 from repro.workloads import (
     expected_centrality,
     kcenter_clustering,
@@ -69,6 +81,36 @@ MAX_REQUEST_SAMPLES = 1_000_000
 
 #: Affinity-ledger capacity (distinct warm pools the router remembers).
 _LEDGER_CAPACITY = 256
+
+
+def _phase_breakdown(total_s: float, phases: dict | None, stats: dict | None) -> dict:
+    """The per-job ``timings`` payload: wall ms per phase plus world counts.
+
+    ``cluster_ms`` is everything the sampling phases do not account for
+    (threshold guesses, greedy rounds, estimator math).  mcl/gmm jobs
+    sample no worlds, so their breakdown is all ``cluster_ms``.
+
+    Examples
+    --------
+    >>> out = _phase_breakdown(0.25, {"sample_s": 0.1, "label_s": 0.05,
+    ...                               "store_read_s": 0.0, "chunks": 2},
+    ...                        {"worlds_cached": 0, "worlds_sampled": 1024})
+    >>> out["sample_ms"], out["cluster_ms"], out["worlds_sampled"]
+    (100.0, 100.0, 1024)
+    """
+    sample_s = phases["sample_s"] if phases else 0.0
+    label_s = phases["label_s"] if phases else 0.0
+    store_read_s = phases["store_read_s"] if phases else 0.0
+    cluster_s = max(total_s - sample_s - label_s - store_read_s, 0.0)
+    return {
+        "total_ms": round(total_s * 1000.0, 3),
+        "sample_ms": round(sample_s * 1000.0, 3),
+        "label_ms": round(label_s * 1000.0, 3),
+        "store_read_ms": round(store_read_s * 1000.0, 3),
+        "cluster_ms": round(cluster_s * 1000.0, 3),
+        "worlds_sampled": int(stats["worlds_sampled"]) if stats else 0,
+        "worlds_reused": int(stats["worlds_cached"]) if stats else 0,
+    }
 
 
 def execute_clustering(job_id: str, params: dict, graph, ancestors, cache, *,
@@ -105,6 +147,34 @@ def execute_clustering(job_id: str, params: dict, graph, ancestors, cache, *,
     if cancel_check is not None:
         cancel_check()
     payload = {"job": job_id, "algorithm": algorithm, "graph": params["graph"]}
+    with telemetry.get_tracer().span("job", job=job_id, algorithm=algorithm,
+                                     graph=params["graph"]):
+        payload.update(_execute_algorithm(
+            job_id, algorithm, params, graph, ancestors, cache,
+            sampling_workers=sampling_workers,
+            cancel_check=cancel_check, progress=progress,
+        ))
+        phases = payload.pop("_phases", None)
+        stats = payload.pop("_stats", None)
+    if cancel_check is not None:
+        cancel_check()
+    total_s = time.perf_counter() - started
+    payload["elapsed_s"] = total_s
+    payload["timings"] = _phase_breakdown(total_s, phases, stats)
+    return payload
+
+
+def _execute_algorithm(job_id: str, algorithm: str, params: dict, graph,
+                       ancestors, cache, *, sampling_workers, cancel_check,
+                       progress) -> dict:
+    """The per-algorithm body of :func:`execute_clustering`.
+
+    Returns the algorithm's payload fields plus the private
+    ``_phases``/``_stats`` keys (this job's oracle phase timings and
+    world accounting) that the caller folds into ``timings``.
+    """
+    payload = {}
+    phases = stats = None
     if algorithm in ("mcp", "acp"):
         schedule = PracticalSchedule(max_samples=params["samples"])
         with cache.lease(
@@ -128,6 +198,7 @@ def execute_clustering(job_id: str, params: dict, graph, ancestors, cache, *,
                 progress=progress,
             )
             stats = oracle.cache_stats
+            phases = oracle.phase_timings
         clustering = result.clustering
         payload.update(
             k=params["k"],
@@ -166,6 +237,7 @@ def execute_clustering(job_id: str, params: dict, graph, ancestors, cache, *,
                 progress=progress,
             )
             stats = oracle.cache_stats
+            phases = oracle.phase_timings
         clustering = result.clustering
         payload.update(
             k=params["k"],
@@ -198,6 +270,7 @@ def execute_clustering(job_id: str, params: dict, graph, ancestors, cache, *,
                 progress=progress,
             )
             stats = oracle.cache_stats
+            phases = oracle.phase_timings
         clustering = None
         payload.update(
             measure=params["measure"],
@@ -220,12 +293,11 @@ def execute_clustering(job_id: str, params: dict, graph, ancestors, cache, *,
     else:  # gmm
         clustering = gmm_clustering(graph, params["k"], seed=params["seed"])
         payload.update(k=params["k"], seed=params["seed"])
-    if cancel_check is not None:
-        cancel_check()
     if clustering is not None:
         payload["assignment"] = np.asarray(clustering.assignment).astype(int).tolist()
         payload["centers"] = np.asarray(clustering.centers).astype(int).tolist()
-    payload["elapsed_s"] = time.perf_counter() - started
+    payload["_phases"] = phases
+    payload["_stats"] = stats
     return payload
 
 
@@ -237,6 +309,9 @@ class WorkerConfig:
     cache_bytes: int
     sampling_workers: object
     spool_dir: str
+    #: Span log shared by the whole fleet (append-only JSON lines);
+    #: ``None`` leaves tracing disabled in the worker.
+    trace_log: str | None = None
 
 
 def pool_affinity_key(params: dict, key_suffix: str) -> str:
@@ -263,23 +338,41 @@ def _worker_main(worker_id: int, tasks, events, config: WorkerConfig) -> None:
     Builds the worker's own WorldStore + OracleCache (sharing the
     on-disk cache directory with every sibling — the flock append
     protocol makes the concurrent writes safe), then executes tasks
-    ``(job_id, params, graph, ancestors)`` off ``tasks`` until the
-    ``None`` sentinel, reporting lifecycle and progress events on
-    ``events`` as ``(job_id, kind, data)``.
+    ``(job_id, params, graph, ancestors, trace_id)`` off ``tasks``
+    until the ``None`` sentinel, reporting lifecycle and progress
+    events on ``events`` as ``(job_id, kind, data)``.
+
+    Telemetry: the worker's own registry accumulates every counter the
+    instrumented layers touch; after each job the movement since the
+    last ship is sent as a ``(None, "metrics", delta)`` event *before*
+    the job's terminal event, so by the time the front door marks a job
+    terminal the fleet-level ``GET /v1/metrics`` already includes the
+    job's contribution.
     """
     # Imported here (not at module top) only for clarity of what the
     # worker side actually needs; spawn re-imports this module anyway.
     from repro.sampling.store import WorldStore
     from repro.service.cache import OracleCache
 
+    if config.trace_log:
+        telemetry.get_tracer().configure(config.trace_log)
     store = WorldStore(config.world_cache)
     cache = OracleCache(store, max_bytes=config.cache_bytes)
+    cache.attach_metrics()
+    registry = telemetry.get_registry()
+    registry.take_delta()  # baseline: don't re-ship pre-fork/import counts
+
+    def ship_metrics() -> None:
+        delta = registry.take_delta()
+        if delta["counters"] or delta["histograms"]:
+            events.put((None, "metrics", delta))
+
     events.put((None, "ready", {"worker": worker_id}))
     while True:
         task = tasks.get()
         if task is None:
             break
-        job_id, params, graph, ancestors = task
+        job_id, params, graph, ancestors, trace_id = task
         cancel_path = os.path.join(config.spool_dir, f"{job_id}.cancel")
 
         def cancel_check(path=cancel_path, job=job_id) -> None:
@@ -291,16 +384,20 @@ def _worker_main(worker_id: int, tasks, events, config: WorkerConfig) -> None:
 
         events.put((job_id, "running", {"worker": worker_id}))
         try:
-            result = execute_clustering(
-                job_id, params, graph, ancestors, cache,
-                sampling_workers=config.sampling_workers,
-                cancel_check=cancel_check, progress=progress,
-            )
+            with telemetry.get_tracer().trace(trace_id or job_id):
+                result = execute_clustering(
+                    job_id, params, graph, ancestors, cache,
+                    sampling_workers=config.sampling_workers,
+                    cancel_check=cancel_check, progress=progress,
+                )
         except JobCancelledError as error:
+            ship_metrics()
             events.put((job_id, "cancelled", {"error": str(error) or "cancelled"}))
         except Exception as error:  # noqa: BLE001 - job boundary
+            ship_metrics()
             events.put((job_id, "failed", {"error": f"{type(error).__name__}: {error}"}))
         else:
+            ship_metrics()
             events.put((job_id, "done", {"result": result, "worker": worker_id}))
 
 
@@ -334,11 +431,14 @@ class ProcessJobQueue:
     retain:
         Terminal jobs kept for result retrieval (as in
         :class:`~repro.service.jobs.JobQueue`).
+    trace_log:
+        Span-log path handed to every worker process (``None`` disables
+        tracing in the workers).
     """
 
     def __init__(self, *, workers: int = 2, world_cache=None,
                  cache_bytes: int = 256 << 20, sampling_workers=1,
-                 retain: int = 256):
+                 retain: int = 256, trace_log: str | None = None):
         import multiprocessing as mp
 
         if workers <= 0:
@@ -363,6 +463,7 @@ class ProcessJobQueue:
             cache_bytes=int(cache_bytes),
             sampling_workers=sampling_workers,
             spool_dir=self._spool_dir,
+            trace_log=None if trace_log is None else str(trace_log),
         )
         self._events = ctx.Queue()
         self._tasks = [ctx.Queue() for _ in range(self.workers)]
@@ -387,7 +488,7 @@ class ProcessJobQueue:
     # ------------------------------------------------------------------
 
     def submit(self, params: dict, *, key_suffix: str = "",
-               context: object = None, client: str = "",
+               context: object = None, client: str = "", trace_id: str = "",
                admit=None) -> tuple[Job, bool]:
         """Enqueue ``params`` or coalesce onto an identical in-flight job.
 
@@ -407,11 +508,12 @@ class ProcessJobQueue:
             if existing_id is not None:
                 job = self._jobs[existing_id]
                 job.coalesced += 1
+                _JOBS_COALESCED.labels(algorithm=_algorithm_of(params)).inc()
                 return job, True
             if admit is not None:
                 admit(self._snapshot_locked(client))
             job = Job(id=f"job-{self._next_id:06d}", key=key, params=dict(params),
-                      context=context, client=client)
+                      context=context, client=client, trace_id=trace_id)
             self._next_id += 1
             worker_id = self._route_locked(params, key_suffix)
             job.add_event("queued", {"params": job.params, "worker": worker_id})
@@ -420,8 +522,12 @@ class ProcessJobQueue:
             self._load[worker_id] += 1
             if client:
                 self._client_active[client] = self._client_active.get(client, 0) + 1
+            _JOBS_SUBMITTED.labels(algorithm=_algorithm_of(params)).inc()
+            _QUEUE_DEPTH.set(sum(self._load))
             self._prune_locked()
-            self._tasks[worker_id].put((job.id, params, graph, ancestors))
+            self._tasks[worker_id].put(
+                (job.id, params, graph, ancestors, trace_id or job.id)
+            )
         return job, False
 
     def _route_locked(self, params: dict, key_suffix: str) -> int:
@@ -549,7 +655,12 @@ class ProcessJobQueue:
             if event is None:
                 return
             job_id, kind, data = event
-            if job_id is None:  # pool-level events ("ready")
+            if job_id is None:  # pool-level events ("ready", "metrics")
+                if kind == "metrics":
+                    # A worker shipped its counter/histogram movement;
+                    # fold it into the front door's registry so
+                    # GET /v1/metrics reflects the whole fleet.
+                    telemetry.get_registry().merge_delta(data)
                 continue
             with self._lock:
                 job = self._jobs.get(job_id)
@@ -593,7 +704,15 @@ class ProcessJobQueue:
                 os.unlink(flag)
             except OSError:  # pragma: no cover
                 pass
-        job.add_event(status, {"status": status, "error": error})
+        algorithm = _algorithm_of(job.params)
+        _JOBS_COMPLETED.labels(algorithm=algorithm, status=status).inc()
+        _JOB_SECONDS.labels(algorithm=algorithm).observe(
+            job.finished_at - job.started_at)
+        _QUEUE_DEPTH.set(sum(self._load))
+        data = {"status": status, "error": error}
+        if isinstance(job.result, dict) and job.result.get("timings") is not None:
+            data["timings"] = job.result["timings"]
+        job.add_event(status, data)
 
     def _prune_locked(self) -> None:
         terminal = sorted(

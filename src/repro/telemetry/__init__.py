@@ -1,0 +1,63 @@
+"""End-to-end telemetry: metrics registry, span tracing, phase timings.
+
+Three small, dependency-free pieces shared by every layer of the stack
+(HTTP service, job queue, admission control, oracle cache, world
+store, parallel sampler, clustering loops):
+
+* :class:`~repro.telemetry.registry.MetricsRegistry` — counters,
+  gauges, and fixed-bucket histograms with a label-cardinality cap,
+  Prometheus text rendering, and cross-process delta shipping (the
+  machinery behind ``GET /v1/metrics``).
+* :class:`~repro.telemetry.tracing.Tracer` — spans as JSON lines to an
+  optional ``--trace-log``, nested via ``contextvars``, trace ids
+  seeded from ``X-Request-Id``.
+* A process-global instance of each, reached through
+  :func:`get_registry` / :func:`get_tracer`, so instrumented modules
+  never need plumbing to find them.
+
+Invariant (pinned by ``tests/test_telemetry.py``): telemetry never
+changes sampled worlds or labels — bit-identity holds with tracing on.
+
+>>> get_registry() is get_registry()
+True
+>>> get_tracer().enabled        # no trace log configured by default
+False
+"""
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_BUCKETS,
+    OVERFLOW_LABEL,
+    parse_prometheus_text,
+)
+from repro.telemetry.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "OVERFLOW_LABEL",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "parse_prometheus_text",
+]
+
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry behind ``GET /v1/metrics``."""
+    return _REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer behind ``--trace-log``."""
+    return _TRACER

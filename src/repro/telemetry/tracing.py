@@ -1,0 +1,171 @@
+"""Lightweight span tracer writing JSON lines to an optional log.
+
+A *span* is one timed unit of work — an HTTP request, a job, one
+threshold guess of a clustering loop, one sampled chunk.  Spans nest
+through a :mod:`contextvars` variable, so a span opened inside a job
+automatically records the job span as its parent even across the
+service's thread pool (each job runs its body under its own context).
+
+The trace id is seeded from the service's existing ``X-Request-Id``
+(one trace per request, propagated into the job it submits); outside
+the service a fresh id is minted per root span.  Every finished span
+appends exactly one JSON line to the configured log file::
+
+    {"trace_id": "req-000001", "span_id": 3, "parent_id": 1,
+     "name": "guess", "ts": 1733.021, "dur_ms": 12.4,
+     "attrs": {"q": 0.5}}
+
+``ts`` is seconds since the Unix epoch; ``dur_ms`` is wall time.  The
+file is opened in append mode and each line is a single ``write``
+call, so multiple worker processes can share one log.  When no log is
+configured the tracer is a no-op: ``span()`` yields a shared inert
+object without taking timestamps, which keeps the hot loops cheap and
+— pinned by ``tests/test_telemetry.py`` — bit-identical: tracing never
+touches the sampling RNG streams.
+
+>>> t = Tracer()                      # disabled: no sink configured
+>>> with t.span("demo") as s:
+...     s.set("k", 1)                 # inert, accepted, dropped
+>>> t.enabled
+False
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["Tracer", "Span"]
+
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_current_span", default=None)
+_current_trace: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_current_trace", default=None)
+
+
+class Span:
+    """A live span; ``set()`` attaches a JSON-safe attribute."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "attrs",
+                 "_started", "_token", "_trace_token")
+
+    def __init__(self, name: str, trace_id: str, span_id: int,
+                 parent_id: int | None, attrs: dict) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._started = time.perf_counter()
+        self._token = None
+        self._trace_token = None
+
+    def set(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+
+class _NullSpan:
+    """Inert stand-in yielded while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Writes spans as JSON lines; inert until :meth:`configure` names a file."""
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self._lock = threading.Lock()
+        self._handle = None
+        self._path: str | None = None
+        self._ids = itertools.count(1)
+        if path is not None:
+            self.configure(path)
+
+    @property
+    def enabled(self) -> bool:
+        return self._handle is not None
+
+    @property
+    def path(self) -> str | None:
+        return self._path
+
+    def configure(self, path: str | os.PathLike | None) -> None:
+        """Point the tracer at ``path`` (append), or ``None`` to disable."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+                self._path = None
+            if path is not None:
+                self._path = os.fspath(path)
+                self._handle = open(self._path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        self.configure(None)
+
+    @contextmanager
+    def trace(self, trace_id: str):
+        """Bind ``trace_id`` (e.g. an ``X-Request-Id``) to this context."""
+        token = _current_trace.set(trace_id)
+        try:
+            yield
+        finally:
+            _current_trace.reset(token)
+
+    def current_trace_id(self) -> str | None:
+        return _current_trace.get()
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a child span of the current one; no-op when disabled."""
+        if self._handle is None:
+            yield _NULL_SPAN
+            return
+        parent = _current_span.get()
+        trace_id = _current_trace.get()
+        if trace_id is None:
+            trace_id = f"trace-{os.getpid()}-{next(self._ids):06x}"
+        span = Span(name, trace_id, next(self._ids),
+                    parent.span_id if parent is not None else None,
+                    dict(attrs))
+        token = _current_span.set(span)
+        trace_token = None
+        if _current_trace.get() is None:
+            trace_token = _current_trace.set(trace_id)
+        started_wall = time.time()
+        try:
+            yield span
+        finally:
+            duration_ms = (time.perf_counter() - span._started) * 1000.0
+            _current_span.reset(token)
+            if trace_token is not None:
+                _current_trace.reset(trace_token)
+            self._emit(span, started_wall, duration_ms)
+
+    def _emit(self, span: Span, started_wall: float, duration_ms: float) -> None:
+        line = json.dumps({
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "ts": round(started_wall, 6),
+            "dur_ms": round(duration_ms, 3),
+            "attrs": span.attrs,
+        }, separators=(",", ":"), default=str)
+        with self._lock:
+            handle = self._handle
+            if handle is None:
+                return
+            handle.write(line + "\n")
+            handle.flush()

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.common import resolve_oracle
 from repro.core.schedule import resolve_guess_schedule
 from repro.exceptions import ClusteringError
@@ -186,22 +187,26 @@ def expected_centrality(
     for q in schedule:
         if cancel_check is not None:
             cancel_check()
-        wanted = max(pool_size_for(q), count)
-        if wanted > count or count == 0:
-            oracle.ensure_samples(wanted)
-            while processed_chunks < oracle.n_chunks:
-                chunk_values = kernel(target, oracle.chunk_masks(processed_chunks))
-                count += chunk_values.shape[0]
-                sums += chunk_values.sum(axis=0)
-                sumsq += np.square(chunk_values).sum(axis=0)
-                processed_chunks += 1
-        mean = sums / count
-        if count > 1:
-            variance = np.maximum(sumsq - count * np.square(mean), 0.0) / (count - 1)
-            half_width = float(np.sqrt(variance / count).max() * _Z_95)
-        else:
-            half_width = math.inf
-        converged = half_width <= tol
+        with telemetry.get_tracer().span("centrality.round", q=float(q)) as span:
+            wanted = max(pool_size_for(q), count)
+            if wanted > count or count == 0:
+                oracle.ensure_samples(wanted)
+                while processed_chunks < oracle.n_chunks:
+                    chunk_values = kernel(target, oracle.chunk_masks(processed_chunks))
+                    count += chunk_values.shape[0]
+                    sums += chunk_values.sum(axis=0)
+                    sumsq += np.square(chunk_values).sum(axis=0)
+                    processed_chunks += 1
+            mean = sums / count
+            if count > 1:
+                variance = np.maximum(sumsq - count * np.square(mean), 0.0) / (count - 1)
+                half_width = float(np.sqrt(variance / count).max() * _Z_95)
+            else:
+                half_width = math.inf
+            converged = half_width <= tol
+            span.set("samples", count)
+            span.set("half_width", half_width)
+            span.set("converged", converged)
         record = CentralityRound(
             q=float(q), samples=count, half_width=half_width, converged=converged
         )

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.clustering import Clustering
 from repro.core.common import resolve_oracle
 from repro.exceptions import ClusteringError
@@ -122,6 +123,13 @@ def _emit(history, progress, cancel_check, *, phase, center, objective, samples)
         round=len(history), phase=phase, center=int(center), objective=float(objective)
     )
     history.append(record)
+    # An event marker, not a timed region: rounds end where the next one
+    # begins, so the span carries the round's outcome with ~zero width.
+    with telemetry.get_tracer().span(
+        "kclustering.round", round=record.round, phase=record.phase,
+        center=record.center, objective=record.objective,
+    ):
+        pass
     if progress is not None:
         progress({"round": record.round, "phase": record.phase,
                   "center": record.center, "objective": record.objective,

@@ -65,6 +65,14 @@ class Client:
         self.last_headers = {k.lower(): v for k, v in response.getheaders()}
         return response.status, (json.loads(raw) if raw else None)
 
+    def request_text(self, method, path):
+        """Like :meth:`request` but returns the body as text (no JSON)."""
+        self.conn.request(method, path)
+        response = self.conn.getresponse()
+        raw = response.read()
+        self.last_headers = {k.lower(): v for k, v in response.getheaders()}
+        return response.status, raw.decode("utf-8")
+
     def wait_job(self, job_id: str) -> dict:
         deadline = time.monotonic() + TIMEOUT
         while time.monotonic() < deadline:
@@ -110,10 +118,18 @@ def client(server):
 
 class TestMetaEndpoints:
     def test_healthz(self, client):
+        from repro import __version__
+
         status, payload = client.request("GET", "/healthz")
         assert status == 200
         assert payload["status"] == "ok"
         assert payload["graphs"] == 2  # toy + lazy krogan
+        assert payload["version"] == __version__
+        assert payload["workers"] == 2
+        assert payload["mode"] == "thread"
+        assert payload["started_at"] <= time.time()
+        assert 0 <= payload["uptime_seconds"] < 300
+        assert payload["uptime_s"] == payload["uptime_seconds"]  # legacy alias
 
     def test_version_matches_package(self, client):
         from repro import __version__
@@ -1459,3 +1475,140 @@ class TestProcessWorkers:
 
         with pytest.raises(ValueError):
             ProcessJobQueue(workers=0)
+
+
+class TestTelemetryEndpoints:
+    """``GET /v1/metrics``, cache agreement, and per-job phase timings."""
+
+    TIMINGS_KEYS = {
+        "total_ms", "sample_ms", "label_ms", "store_read_ms",
+        "cluster_ms", "worlds_sampled", "worlds_reused",
+    }
+
+    def test_metrics_endpoint_serves_prometheus_text(self, client):
+        from repro.telemetry import parse_prometheus_text
+
+        client.run_job(
+            {"graph": "toy", "algorithm": "mcp", "k": 2, "samples": 300, "seed": 5}
+        )
+        status, text = client.request_text("GET", "/v1/metrics")
+        assert status == 200
+        assert client.last_headers["content-type"] == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+        series = parse_prometheus_text(text)
+        # One series per subsystem proves the whole stack is wired.
+        assert series['repro_jobs_submitted_total{algorithm="mcp"}'] >= 1
+        assert series['repro_jobs_completed_total{algorithm="mcp",status="done"}'] >= 1
+        assert any(key.startswith("repro_http_requests_total{") for key in series)
+        assert any(key.startswith("repro_sampler_worlds_total{") for key in series)
+        assert series["repro_store_worlds_appended_total"] > 0
+        assert series["repro_cache_leases_total"] >= 1
+        assert "repro_admission_tracked_clients" in series
+        assert series['repro_job_seconds_bucket{algorithm="mcp",le="+Inf"}'] >= 1
+
+    def test_cache_endpoint_and_metrics_share_one_snapshot(self, client):
+        """Satellite fix: ``/v1/cache`` and ``repro_cache_*`` cannot drift."""
+        from repro.telemetry import parse_prometheus_text
+
+        status, _ = client.request(
+            "GET", "/v1/graphs/toy/estimate?u=0&v=1&samples=100&seed=1"
+        )
+        assert status == 200
+        status, stats = client.request("GET", "/v1/cache")
+        assert status == 200
+        _, text = client.request_text("GET", "/v1/metrics")
+        series = parse_prometheus_text(text)
+        for key in ("leases", "warm_leases", "evictions", "worlds_cached",
+                    "worlds_sampled", "pools_derived", "worlds_derived"):
+            assert series[f"repro_cache_{key}_total"] == stats[key], key
+        assert series["repro_cache_pools"] == stats["pools"]
+        assert series["repro_cache_bytes"] == stats["bytes"]
+        assert series["repro_cache_max_bytes"] == stats["max_bytes"]
+
+    def test_job_status_and_sse_carry_timings(self, client, server):
+        params = {"graph": "toy", "algorithm": "mcp", "k": 2,
+                  "samples": 300, "seed": 6}
+        status, payload = client.request("POST", "/v1/jobs", params)
+        assert status == 202
+        described = client.wait_job(payload["job"])
+        timings = described["timings"]
+        assert set(timings) == self.TIMINGS_KEYS
+        assert timings["total_ms"] > 0
+        # The progressive schedule samples what the threshold search
+        # needed, bounded by the budget; a cold job samples something.
+        assert 0 < timings["worlds_sampled"] <= 300
+        assert timings["worlds_reused"] == 0
+        assert timings["total_ms"] >= timings["sample_ms"]
+        _, events = _read_sse(server.port, payload["job"])
+        terminal = events[-1]
+        assert terminal["event"] == "done"
+        assert terminal["data"]["timings"] == timings
+
+    def test_fleet_metrics_aggregate_across_two_process_workers(self, tmp_path):
+        """Acceptance pin: ``--workers 2`` metrics reflect the whole fleet.
+
+        Two distinct jobs overlap in flight, so least-loaded dispatch
+        lands them on different worker processes; each worker ships its
+        counter deltas over the event queue before the terminal event,
+        so by the time both jobs read as done the parent's scrape must
+        account for every world either worker sampled.
+        """
+        from repro.telemetry import parse_prometheus_text
+
+        svc = ClusterService(
+            datasets=(), worker_processes=2,
+            world_cache=tmp_path / "worlds", cache_bytes=64 << 20,
+        )
+        svc.graphs.register_graph("toy", _toy_graph(), source="test")
+        with BackgroundServer(svc) as server:
+            client = Client(server.port)
+            try:
+                _, before_text = client.request_text("GET", "/v1/metrics")
+                before = parse_prometheus_text(before_text)
+
+                def series(table, key):
+                    return table.get(key, 0.0)
+
+                params_a = {"graph": "toy", "algorithm": "mcp", "k": 2,
+                            "samples": 2000, "seed": 21}
+                params_b = {"graph": "toy", "algorithm": "mcp", "k": 3,
+                            "samples": 2000, "seed": 22}
+                _, a = client.request("POST", "/v1/jobs", params_a)
+                _, b = client.request("POST", "/v1/jobs", params_b)
+                done_a = client.wait_job(a["job"])
+                done_b = client.wait_job(b["job"])
+                assert done_a["status"] == "done" and done_b["status"] == "done"
+
+                _, workers_a = _read_sse(server.port, a["job"])
+                _, workers_b = _read_sse(server.port, b["job"])
+                used = {
+                    next(e["data"]["worker"] for e in events if e["event"] == "queued")
+                    for events in (workers_a, workers_b)
+                }
+                assert used == {0, 1}, f"jobs did not spread: {used}"
+
+                _, after_text = client.request_text("GET", "/v1/metrics")
+                after = parse_prometheus_text(after_text)
+
+                done_key = 'repro_jobs_completed_total{algorithm="mcp",status="done"}'
+                assert series(after, done_key) - series(before, done_key) == 2
+
+                sampled = sum(
+                    r["timings"]["worlds_sampled"]
+                    for r in (done_a, done_b)
+                )
+                assert sampled > 0  # both cold jobs sampled in the workers
+                worlds_keys = [k for k in after
+                               if k.startswith("repro_sampler_worlds_total{")]
+                fleet_worlds = (
+                    sum(series(after, k) for k in worlds_keys)
+                    - sum(series(before, k) for k in worlds_keys)
+                )
+                assert fleet_worlds == sampled
+
+                appended_key = "repro_store_worlds_appended_total"
+                assert (series(after, appended_key)
+                        - series(before, appended_key)) == sampled
+            finally:
+                client.close()
